@@ -1,0 +1,33 @@
+// Shared helpers for the figure benches: every binary prints its figure's
+// series as CSV (exact regeneration of the paper plot's data), registers one
+// google-benchmark entry per data point carrying the values as counters, and
+// registers at least one genuine timing benchmark of the kernel involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace qp::bench {
+
+/// Registers a no-op benchmark whose counters carry a figure data point.
+template <typename Fill>
+void register_point(const std::string& name, Fill fill) {
+  benchmark::RegisterBenchmark(name.c_str(), [fill](benchmark::State& state) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(&state);
+    }
+    fill(state);
+  })->Iterations(1);
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace qp::bench

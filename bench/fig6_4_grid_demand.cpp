@@ -1,0 +1,54 @@
+// Figure 6.4: Grid on daxlist-161, closest vs balanced access strategies at
+// client_demand in {1000, 4000}, response time vs universe size.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/placement.hpp"
+#include "core/response.hpp"
+#include "eval/figures.hpp"
+#include "eval/sweeps.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/grid.hpp"
+
+namespace {
+
+const qp::net::LatencyMatrix& topology() {
+  static const qp::net::LatencyMatrix m = qp::net::daxlist161_synth();
+  return m;
+}
+
+// Timing kernel: balanced evaluation of a k x k grid on 161 sites.
+void BM_BalancedEvaluation(benchmark::State& state) {
+  const auto& m = topology();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const qp::quorum::GridQuorum system{k};
+  const auto placement = qp::core::best_grid_placement(m, k).placement;
+  for (auto _ : state) {
+    auto eval = qp::core::evaluate_balanced(m, system, placement, 28.0);
+    benchmark::DoNotOptimize(eval);
+  }
+}
+BENCHMARK(BM_BalancedEvaluation)->Arg(5)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "# Figure 6.4: Grid on daxlist-161 (synthetic), closest vs balanced\n";
+  const std::vector<double> demands{1000.0, 4000.0};
+  const auto points = qp::eval::grid_demand_sweep(topology(), demands);
+  qp::eval::print_csv(std::cout, points);
+
+  for (const auto& p : points) {
+    qp::bench::register_point(
+        "Fig6_4/" + p.strategy + "/demand=" + std::to_string(static_cast<int>(p.client_demand)) +
+            "/n=" + std::to_string(p.universe),
+        [p](benchmark::State& state) {
+          state.counters["response_ms"] = p.response_ms;
+          state.counters["network_delay_ms"] = p.network_delay_ms;
+        });
+  }
+  return qp::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,117 @@
+// Edge-service planner: given a topology and an expected client demand,
+// recommend (a) which quorum system and universe size to deploy, (b) which
+// sites should host the proxies, and (c) how clients should route.
+//
+// This automates the paper's decision procedure: §6 says small quorums and
+// modest universes win at low demand; §7 says spreading load wins at high
+// demand; the LP finds the best routing for anything in between.
+//
+//   ./edge_planner [client_demand] [path/to/matrix.txt]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/placement.hpp"
+#include "core/response.hpp"
+#include "core/strategy.hpp"
+#include "net/matrix_io.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/singleton.hpp"
+
+namespace {
+
+struct Candidate {
+  std::string description;
+  double response_ms = std::numeric_limits<double>::infinity();
+  std::string strategy;
+  std::vector<std::size_t> sites;
+};
+
+void consider(Candidate& best, const std::string& description, double response,
+              const std::string& strategy, const std::vector<std::size_t>& sites) {
+  if (response < best.response_ms) {
+    best = Candidate{description, response, strategy, sites};
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qp;
+  const double demand = argc > 1 ? std::atof(argv[1]) : 4000.0;
+  const net::LatencyMatrix matrix =
+      argc > 2 ? net::read_matrix_file(argv[2]) : net::planetlab50_synth();
+  const double alpha = core::kQuWriteServiceMs * demand;
+
+  std::cout << "Planning an edge deployment over " << matrix.size()
+            << " sites at client demand " << demand << " (alpha = " << alpha << " ms)\n\n";
+  std::cout << std::fixed << std::setprecision(1);
+
+  Candidate best;
+
+  // Singleton baseline.
+  {
+    const quorum::SingletonQuorum s;
+    const core::Placement p = core::singleton_placement(matrix);
+    const core::Evaluation eval = core::evaluate_closest(matrix, s, p, alpha);
+    std::cout << "  Singleton @ " << matrix.site_name(p.site_of[0]) << ": "
+              << eval.avg_response_ms << " ms\n";
+    consider(best, "Singleton", eval.avg_response_ms, "closest", p.support_set());
+  }
+
+  // Grid systems with closest / balanced / LP strategies.
+  for (std::size_t k = 2; k * k <= matrix.size() && k <= 7; ++k) {
+    const quorum::GridQuorum grid{k};
+    const auto placed = core::best_grid_placement(matrix, k);
+    const auto closest = core::evaluate_closest(matrix, grid, placed.placement, alpha);
+    const auto balanced = core::evaluate_balanced(matrix, grid, placed.placement, alpha);
+    consider(best, grid.name(), closest.avg_response_ms, "closest",
+             placed.placement.support_set());
+    consider(best, grid.name(), balanced.avg_response_ms, "balanced",
+             placed.placement.support_set());
+
+    // LP with the paper's §7 capacity sweep (coarse: 4 levels).
+    double best_lp = std::numeric_limits<double>::infinity();
+    for (double level : core::uniform_capacity_levels(grid.optimal_load(), 4)) {
+      const auto lp = core::optimize_access_strategy(
+          matrix, grid, placed.placement, core::uniform_capacities(matrix.size(), level));
+      if (lp.status != lp::SolveStatus::Optimal) continue;
+      const auto eval =
+          core::evaluate_explicit(matrix, grid, placed.placement, alpha, lp.strategy);
+      best_lp = std::min(best_lp, eval.avg_response_ms);
+      consider(best, grid.name(), eval.avg_response_ms, "lp-optimized",
+               placed.placement.support_set());
+    }
+    std::cout << "  " << grid.name() << ": closest " << closest.avg_response_ms
+              << " ms, balanced " << balanced.avg_response_ms << " ms, lp "
+              << best_lp << " ms\n";
+  }
+
+  // Small majorities (fault-tolerant alternative).
+  for (std::size_t t = 1; t <= 3 && 2 * t + 1 <= matrix.size(); ++t) {
+    const auto majority =
+        quorum::make_majority(quorum::MajorityFamily::SimpleMajority, t);
+    const auto placed = core::best_majority_placement(matrix, majority);
+    const auto closest = core::evaluate_closest(matrix, majority, placed.placement, alpha);
+    const auto balanced =
+        core::evaluate_balanced(matrix, majority, placed.placement, alpha);
+    std::cout << "  " << majority.name() << ": closest " << closest.avg_response_ms
+              << " ms, balanced " << balanced.avg_response_ms << " ms\n";
+    consider(best, majority.name(), closest.avg_response_ms, "closest",
+             placed.placement.support_set());
+    consider(best, majority.name(), balanced.avg_response_ms, "balanced",
+             placed.placement.support_set());
+  }
+
+  std::cout << "\nRecommendation: " << best.description << " with the " << best.strategy
+            << " strategy (" << best.response_ms << " ms average response)\n";
+  std::cout << "Deploy proxies at:";
+  for (std::size_t site : best.sites) std::cout << ' ' << matrix.site_name(site);
+  std::cout << '\n';
+  return 0;
+}

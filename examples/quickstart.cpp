@@ -1,0 +1,66 @@
+// Quickstart: build a wide-area topology, place a Grid quorum system on it,
+// and compare the closest / balanced / LP-optimized access strategies.
+//
+//   ./quickstart [path/to/latency_matrix.txt]
+//
+// Without an argument it uses the synthetic Planetlab-50 stand-in topology.
+#include <iostream>
+
+#include "core/capacity.hpp"
+#include "core/placement.hpp"
+#include "core/response.hpp"
+#include "core/strategy.hpp"
+#include "net/matrix_io.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/grid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qp;
+
+  // 1. A topology: a symmetric RTT matrix between candidate proxy sites.
+  const net::LatencyMatrix matrix =
+      argc > 1 ? net::read_matrix_file(argv[1]) : net::planetlab50_synth();
+  std::cout << "Topology: " << matrix.size() << " sites\n";
+
+  // 2. A quorum system: 4x4 Grid (16 logical servers, quorums of 7).
+  const quorum::GridQuorum grid{4};
+  std::cout << "Quorum system: " << grid.name() << ", " << grid.quorum_count()
+            << " quorums, optimal load " << grid.optimal_load() << "\n";
+
+  // 3. Place it: the one-to-one placement minimizing average network delay.
+  const core::PlacementSearchResult placed = core::best_grid_placement(matrix, 4);
+  std::cout << "Placement anchored at " << matrix.site_name(placed.anchor_client)
+            << ", avg uniform network delay " << placed.avg_network_delay << " ms\n";
+  std::cout << "Proxy sites:";
+  for (std::size_t site : placed.placement.support_set()) {
+    std::cout << ' ' << matrix.site_name(site);
+  }
+  std::cout << "\n\n";
+
+  // 4. Evaluate the response-time model at moderate demand.
+  const double alpha = core::kQuWriteServiceMs * 4000;  // 4000 requests "in flight".
+  const core::Evaluation closest =
+      core::evaluate_closest(matrix, grid, placed.placement, alpha);
+  const core::Evaluation balanced =
+      core::evaluate_balanced(matrix, grid, placed.placement, alpha);
+  std::cout << "closest  strategy: response " << closest.avg_response_ms
+            << " ms (network " << closest.avg_network_delay_ms << " ms)\n";
+  std::cout << "balanced strategy: response " << balanced.avg_response_ms
+            << " ms (network " << balanced.avg_network_delay_ms << " ms)\n";
+
+  // 5. Do better than both: LP-optimized per-client strategies under a
+  //    capacity cap halfway between L_opt and 1.
+  const double cap = (grid.optimal_load() + 1.0) / 2.0;
+  const core::StrategyLpResult lp = core::optimize_access_strategy(
+      matrix, grid, placed.placement, core::uniform_capacities(matrix.size(), cap));
+  if (lp.status == lp::SolveStatus::Optimal) {
+    const core::Evaluation optimized =
+        core::evaluate_explicit(matrix, grid, placed.placement, alpha, lp.strategy);
+    std::cout << "LP-optimized strategy (cap " << cap << "): response "
+              << optimized.avg_response_ms << " ms (network "
+              << optimized.avg_network_delay_ms << " ms)\n";
+  } else {
+    std::cout << "LP infeasible at cap " << cap << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "common/combinatorics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qp::common {
+
+double log_binomial(std::size_t n, std::size_t k) noexcept {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  const auto dn = static_cast<double>(n);
+  const auto dk = static_cast<double>(k);
+  return std::lgamma(dn + 1.0) - std::lgamma(dk + 1.0) - std::lgamma(dn - dk + 1.0);
+}
+
+double binomial(std::size_t n, std::size_t k) noexcept {
+  if (k > n) return 0.0;
+  const double value = std::exp(log_binomial(n, k));
+  // lgamma is accurate to ~1e-15 relative error, so for counts that are
+  // exactly representable in a double the nearest integer is the true value.
+  if (value < 0x1.0p53) return std::round(value);
+  return value;
+}
+
+double binomial_ratio(std::size_t a, std::size_t b, std::size_t k) noexcept {
+  if (k > a) return 0.0;
+  if (k > b) return std::numeric_limits<double>::infinity();
+  return std::exp(log_binomial(a, k) - log_binomial(b, k));
+}
+
+std::uint64_t binomial_exact(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::uint64_t numer = n - k + i;
+    // result * numer / i is always integral at this point; check overflow first.
+    if (result > std::numeric_limits<std::uint64_t>::max() / numer) {
+      throw std::overflow_error{"binomial_exact: overflow"};
+    }
+    result = result * numer / i;
+  }
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> all_subsets(std::size_t n, std::size_t k,
+                                                  std::size_t limit) {
+  if (k > n) return {};
+  const double count = binomial(n, k);
+  if (count > static_cast<double>(limit)) {
+    throw std::invalid_argument{"all_subsets: C(n,k) exceeds limit"};
+  }
+  std::vector<std::vector<std::size_t>> result;
+  result.reserve(static_cast<std::size_t>(count));
+  std::vector<std::size_t> current(k);
+  for (std::size_t i = 0; i < k; ++i) current[i] = i;
+  for (;;) {
+    result.push_back(current);
+    // Advance to the next k-subset in lexicographic order.
+    std::size_t i = k;
+    while (i > 0 && current[i - 1] == n - k + i - 1) --i;
+    if (i == 0) break;
+    ++current[i - 1];
+    for (std::size_t j = i; j < k; ++j) current[j] = current[j - 1] + 1;
+  }
+  return result;
+}
+
+}  // namespace qp::common

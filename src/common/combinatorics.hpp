@@ -1,0 +1,30 @@
+// Combinatorial helpers: binomial coefficients in log space (so that order
+// statistics over C(161, 80)-sized spaces do not overflow) and subset
+// enumeration for the brute-force oracles used in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qp::common {
+
+/// ln C(n, k); returns -inf for k > n. Exact via lgamma.
+[[nodiscard]] double log_binomial(std::size_t n, std::size_t k) noexcept;
+
+/// C(n, k) as a double (may be inf for huge arguments; callers use ratios).
+[[nodiscard]] double binomial(std::size_t n, std::size_t k) noexcept;
+
+/// exp(log_binomial(a, k) - log_binomial(b, k)): numerically stable C(a,k)/C(b,k).
+[[nodiscard]] double binomial_ratio(std::size_t a, std::size_t b, std::size_t k) noexcept;
+
+/// All k-subsets of {0..n-1} in lexicographic order. Throws if C(n,k) > limit
+/// (guards test oracles against accidental combinatorial explosions).
+[[nodiscard]] std::vector<std::vector<std::size_t>> all_subsets(std::size_t n,
+                                                                std::size_t k,
+                                                                std::size_t limit = 2'000'000);
+
+/// Exact C(n,k) in unsigned 64-bit; throws on overflow.
+[[nodiscard]] std::uint64_t binomial_exact(std::size_t n, std::size_t k);
+
+}  // namespace qp::common

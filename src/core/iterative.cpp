@@ -1,0 +1,103 @@
+#include "core/iterative.hpp"
+
+#include <stdexcept>
+
+#include "core/response.hpp"
+
+namespace qp::core {
+
+namespace {
+
+/// Explicit strategy in which every client uses the same distribution.
+ExplicitStrategy common_strategy(std::vector<quorum::Quorum> quorums,
+                                 const std::vector<double>& distribution,
+                                 std::size_t client_count) {
+  ExplicitStrategy strategy;
+  strategy.quorums = std::move(quorums);
+  strategy.probability.assign(client_count, distribution);
+  return strategy;
+}
+
+}  // namespace
+
+IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
+                                    const quorum::QuorumSystem& system,
+                                    std::span<const double> capacities, double alpha,
+                                    const IterativeOptions& options) {
+  const std::vector<quorum::Quorum> quorums =
+      system.enumerate_quorums(options.strategy.quorum_limit);
+  const std::size_t m = quorums.size();
+  const std::size_t clients = matrix.size();
+
+  // p^0 = uniform distribution for every client (§4.2).
+  std::vector<double> average_distribution(m, 1.0 / static_cast<double>(m));
+
+  IterativeResult accepted;
+  bool have_accepted = false;
+  IterativeResult result;
+
+  for (std::size_t j = 1; j <= options.max_iterations; ++j) {
+    IterationRecord record;
+    record.iteration = j;
+
+    // Phase 1: many-to-one placement under the average strategy.
+    const ManyToOneSearchResult search = best_many_to_one_placement(
+        matrix, system, average_distribution, capacities, options.anchor_candidates,
+        options.placement);
+    if (search.best.status != lp::SolveStatus::Optimal) {
+      if (!have_accepted) {
+        throw std::runtime_error{
+            "iterative_placement: placement LP infeasible in the first iteration "
+            "(capacities too low for the quorum system)"};
+      }
+      break;
+    }
+    const Placement& placement = search.best.placement;
+    record.max_capacity_violation = search.best.max_capacity_violation;
+
+    const ExplicitStrategy carried =
+        common_strategy(quorums, average_distribution, clients);
+    const Evaluation phase1 = evaluate_explicit(matrix, system, placement, alpha, carried);
+    record.response_after_placement = phase1.avg_response_ms;
+    record.network_after_placement = phase1.avg_network_delay_ms;
+
+    // Phase 2: re-optimize access strategies with cap(v) = load_{f_j}(v), so
+    // the LP may only re-route delay, never concentrate load further.
+    std::vector<double> load_caps = phase1.site_load;
+    for (double& cap : load_caps) cap = cap * (1.0 + 1e-9) + 1e-12;
+    const StrategyLpResult lp_result =
+        optimize_access_strategy(matrix, system, placement, load_caps, options.strategy);
+    if (lp_result.status != lp::SolveStatus::Optimal) {
+      // The carried strategy is feasible for these capacities by
+      // construction, so this indicates numerical trouble; stop cleanly.
+      result.history.push_back(record);
+      break;
+    }
+    const Evaluation phase2 =
+        evaluate_explicit(matrix, system, placement, alpha, lp_result.strategy);
+    record.response_after_strategy = phase2.avg_response_ms;
+    record.network_after_strategy = phase2.avg_network_delay_ms;
+
+    const bool improved = !have_accepted ||
+                          phase2.avg_response_ms <
+                              accepted.avg_response - options.improvement_tolerance;
+    record.accepted = improved;
+    result.history.push_back(record);
+    if (!improved) break;
+
+    accepted.placement = placement;
+    accepted.strategy = lp_result.strategy;
+    accepted.avg_response = phase2.avg_response_ms;
+    accepted.avg_network_delay = phase2.avg_network_delay_ms;
+    have_accepted = true;
+    average_distribution = lp_result.strategy.average_distribution();
+  }
+
+  if (!have_accepted) {
+    throw std::runtime_error{"iterative_placement: no iteration produced a placement"};
+  }
+  accepted.history = std::move(result.history);
+  return accepted;
+}
+
+}  // namespace qp::core

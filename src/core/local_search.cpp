@@ -1,0 +1,55 @@
+#include "core/local_search.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace qp::core {
+
+LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
+                                         const quorum::QuorumSystem& system,
+                                         const Placement& initial,
+                                         const LocalSearchOptions& options) {
+  initial.validate(matrix.size());
+  if (!initial.one_to_one()) {
+    throw std::invalid_argument{"local_search_placement: initial must be one-to-one"};
+  }
+  LocalSearchResult result;
+  result.placement = initial;
+  result.objective = average_uniform_network_delay(matrix, system, result.placement);
+
+  std::vector<bool> used(matrix.size(), false);
+  for (std::size_t site : result.placement.site_of) used[site] = true;
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    double best_objective = result.objective;
+    std::size_t best_element = 0;
+    std::size_t best_site = 0;
+    bool found = false;
+    // Best-improvement scan over all (element, unused site) relocations.
+    for (std::size_t u = 0; u < result.placement.universe_size(); ++u) {
+      const std::size_t original = result.placement.site_of[u];
+      for (std::size_t w = 0; w < matrix.size(); ++w) {
+        if (used[w]) continue;
+        result.placement.site_of[u] = w;
+        const double objective =
+            average_uniform_network_delay(matrix, system, result.placement);
+        if (objective < best_objective - options.min_improvement) {
+          best_objective = objective;
+          best_element = u;
+          best_site = w;
+          found = true;
+        }
+      }
+      result.placement.site_of[u] = original;
+    }
+    if (!found) break;
+    used[result.placement.site_of[best_element]] = false;
+    used[best_site] = true;
+    result.placement.site_of[best_element] = best_site;
+    result.objective = best_objective;
+    ++result.moves;
+  }
+  return result;
+}
+
+}  // namespace qp::core

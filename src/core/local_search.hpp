@@ -1,0 +1,38 @@
+// Local-search placement improvement — a baseline the paper does not
+// evaluate, used here as an ablation: how close are the constructive
+// placements of §4.1.1 to a local optimum of the average uniform network
+// delay? The search relocates one universe element at a time to an unused
+// site, taking the best improving move, until a local optimum.
+#pragma once
+
+#include <cstddef>
+
+#include "core/placement.hpp"
+#include "net/latency_matrix.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::core {
+
+struct LocalSearchOptions {
+  /// Hard cap on improvement rounds (each round scans all moves).
+  std::size_t max_rounds = 100;
+  /// A move must improve the objective by more than this to be taken.
+  double min_improvement = 1e-9;
+};
+
+struct LocalSearchResult {
+  Placement placement;
+  /// avg_v E_uniform[max d] of the final placement.
+  double objective = 0.0;
+  /// Number of accepted relocation moves.
+  std::size_t moves = 0;
+};
+
+/// Hill-climbs from `initial` (must be one-to-one) and returns a placement
+/// that no single-element relocation improves. Deterministic.
+[[nodiscard]] LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
+                                                       const quorum::QuorumSystem& system,
+                                                       const Placement& initial,
+                                                       const LocalSearchOptions& options = {});
+
+}  // namespace qp::core

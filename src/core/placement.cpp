@@ -1,0 +1,143 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "quorum/grid.hpp"
+
+namespace qp::core {
+
+std::vector<std::size_t> Placement::support_set() const {
+  std::vector<std::size_t> support = site_of;
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  return support;
+}
+
+bool Placement::one_to_one() const { return support_set().size() == site_of.size(); }
+
+void Placement::validate(std::size_t site_count) const {
+  if (site_of.empty()) throw std::invalid_argument{"Placement: empty"};
+  for (std::size_t site : site_of) {
+    if (site >= site_count) throw std::out_of_range{"Placement: site out of range"};
+  }
+}
+
+std::vector<double> element_distances(const net::LatencyMatrix& matrix,
+                                      const Placement& placement, std::size_t client) {
+  placement.validate(matrix.size());
+  const std::vector<double>& row = matrix.row(client);
+  std::vector<double> values(placement.universe_size());
+  for (std::size_t u = 0; u < values.size(); ++u) values[u] = row[placement.site_of[u]];
+  return values;
+}
+
+Placement majority_ball_placement(const net::LatencyMatrix& matrix,
+                                  std::size_t universe_size, std::size_t v0) {
+  if (universe_size == 0 || universe_size > matrix.size()) {
+    throw std::invalid_argument{"majority_ball_placement: bad universe size"};
+  }
+  return Placement{matrix.ball(v0, universe_size)};
+}
+
+Placement grid_placement_for_client(const net::LatencyMatrix& matrix, std::size_t side,
+                                    std::size_t v0) {
+  const std::size_t n = side * side;
+  if (side == 0 || n > matrix.size()) {
+    throw std::invalid_argument{"grid_placement_for_client: bad grid side"};
+  }
+  // Ball nodes ordered by DECREASING distance from v0: rank 0 is farthest.
+  std::vector<std::size_t> by_distance = matrix.ball(v0, n);
+  std::reverse(by_distance.begin(), by_distance.end());
+
+  // Inductive square construction (§4.1.1): the largest l^2 distances
+  // occupy the top-left l x l square; growing to (l+1) x (l+1) appends the
+  // next l ranks down column l and the following l+1 ranks across row l.
+  // The nearest nodes therefore land on the last row/column, giving v0 one
+  // very cheap quorum.
+  std::vector<std::size_t> rank_of_cell(n, 0);
+  std::size_t next_rank = 0;
+  rank_of_cell[0] = next_rank++;  // Cell (0, 0).
+  for (std::size_t l = 1; l < side; ++l) {
+    for (std::size_t r = 0; r < l; ++r) rank_of_cell[r * side + l] = next_rank++;
+    for (std::size_t c = 0; c <= l; ++c) rank_of_cell[l * side + c] = next_rank++;
+  }
+
+  Placement placement;
+  placement.site_of.resize(n);
+  for (std::size_t cell = 0; cell < n; ++cell) {
+    placement.site_of[cell] = by_distance[rank_of_cell[cell]];
+  }
+  return placement;
+}
+
+Placement singleton_placement(const net::LatencyMatrix& matrix, std::size_t universe_size) {
+  if (universe_size == 0) throw std::invalid_argument{"singleton_placement: empty universe"};
+  const std::size_t median = matrix.median_site();
+  return Placement{std::vector<std::size_t>(universe_size, median)};
+}
+
+double average_uniform_network_delay(const net::LatencyMatrix& matrix,
+                                     const quorum::QuorumSystem& system,
+                                     const Placement& placement) {
+  placement.validate(matrix.size());
+  double total = 0.0;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    const std::vector<double> values = element_distances(matrix, placement, v);
+    total += system.expected_max_uniform(values);
+  }
+  return total / static_cast<double>(matrix.size());
+}
+
+PlacementSearchResult best_placement(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const std::function<Placement(std::size_t v0)>& build_for_client,
+    std::span<const std::size_t> candidates) {
+  std::vector<std::size_t> all;
+  if (candidates.empty()) {
+    all.resize(matrix.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    candidates = all;
+  }
+  PlacementSearchResult best;
+  best.avg_network_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t v0 : candidates) {
+    Placement placement = build_for_client(v0);
+    const double delay = average_uniform_network_delay(matrix, system, placement);
+    if (delay < best.avg_network_delay) {
+      best.avg_network_delay = delay;
+      best.anchor_client = v0;
+      best.placement = std::move(placement);
+    }
+  }
+  if (!std::isfinite(best.avg_network_delay)) {
+    throw std::invalid_argument{"best_placement: no candidate clients"};
+  }
+  return best;
+}
+
+PlacementSearchResult best_majority_placement(const net::LatencyMatrix& matrix,
+                                              const quorum::QuorumSystem& majority,
+                                              std::span<const std::size_t> candidates) {
+  return best_placement(
+      matrix, majority,
+      [&](std::size_t v0) {
+        return majority_ball_placement(matrix, majority.universe_size(), v0);
+      },
+      candidates);
+}
+
+PlacementSearchResult best_grid_placement(const net::LatencyMatrix& matrix,
+                                          std::size_t side,
+                                          std::span<const std::size_t> candidates) {
+  const quorum::GridQuorum grid{side};
+  return best_placement(
+      matrix, grid,
+      [&](std::size_t v0) { return grid_placement_for_client(matrix, side, v0); },
+      candidates);
+}
+
+}  // namespace qp::core

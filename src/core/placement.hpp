@@ -1,0 +1,84 @@
+// Quorum placements f : U -> V (§4) and the previously-known one-to-one
+// placement algorithms (§4.1.1): Majority ball placement, the Grid inductive
+// construction, the singleton/median placement, and the best-single-client
+// outer loop that turns a single-client-optimal construction into a
+// constant-factor approximation for all clients.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/latency_matrix.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::core {
+
+/// A placement maps universe element u to the site hosting it. Many-to-one
+/// mappings are allowed (multiple elements on one site).
+struct Placement {
+  std::vector<std::size_t> site_of;
+
+  [[nodiscard]] std::size_t universe_size() const noexcept { return site_of.size(); }
+
+  /// Sorted, de-duplicated list of sites hosting at least one element
+  /// (the support set f(U) of §4).
+  [[nodiscard]] std::vector<std::size_t> support_set() const;
+
+  [[nodiscard]] bool one_to_one() const;
+
+  /// Throws unless every site index is < site_count.
+  void validate(std::size_t site_count) const;
+};
+
+/// values[u] = rtt(client, f(u)) — the per-element distance vector that
+/// quorum::QuorumSystem operations consume.
+[[nodiscard]] std::vector<double> element_distances(const net::LatencyMatrix& matrix,
+                                                    const Placement& placement,
+                                                    std::size_t client);
+
+/// Majority placement for a single client v0: an arbitrary one-to-one map
+/// onto the ball B(v0, n) (all such maps have equal delay for v0; §4.1.1).
+[[nodiscard]] Placement majority_ball_placement(const net::LatencyMatrix& matrix,
+                                                std::size_t universe_size, std::size_t v0);
+
+/// Grid placement for a single client v0 (§4.1.1): sort the ball's distances
+/// in decreasing order and fill the grid in inductively growing squares, so
+/// the closest nodes land on the last row and column (one cheap quorum).
+[[nodiscard]] Placement grid_placement_for_client(const net::LatencyMatrix& matrix,
+                                                  std::size_t side, std::size_t v0);
+
+/// All universe elements on the graph median (Lin's 2-approximation).
+[[nodiscard]] Placement singleton_placement(const net::LatencyMatrix& matrix,
+                                            std::size_t universe_size = 1);
+
+/// avg_v E_uniform-Q [ max_{u in Q} d(v, f(u)) ] — the network-delay
+/// objective used to compare candidate placements.
+[[nodiscard]] double average_uniform_network_delay(const net::LatencyMatrix& matrix,
+                                                   const quorum::QuorumSystem& system,
+                                                   const Placement& placement);
+
+struct PlacementSearchResult {
+  Placement placement;
+  std::size_t anchor_client = 0;      // The v0 whose placement won.
+  double avg_network_delay = 0.0;     // Uniform-strategy delay of the winner.
+};
+
+/// §4.1.1 outer loop: builds the single-client placement for every candidate
+/// v0 (all sites when `candidates` is empty), evaluates each under the
+/// uniform access strategy, and returns the best.
+[[nodiscard]] PlacementSearchResult best_placement(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const std::function<Placement(std::size_t v0)>& build_for_client,
+    std::span<const std::size_t> candidates = {});
+
+/// Convenience wrappers running best_placement with the matching builder.
+[[nodiscard]] PlacementSearchResult best_majority_placement(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& majority,
+    std::span<const std::size_t> candidates = {});
+[[nodiscard]] PlacementSearchResult best_grid_placement(
+    const net::LatencyMatrix& matrix, std::size_t side,
+    std::span<const std::size_t> candidates = {});
+
+}  // namespace qp::core

@@ -1,0 +1,127 @@
+#include "core/response.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qp::core {
+
+double rho(const net::LatencyMatrix& matrix, const Placement& placement,
+           std::span<const double> site_load, double alpha, std::size_t client,
+           const quorum::Quorum& quorum) {
+  const std::vector<double>& row = matrix.row(client);
+  double worst = 0.0;
+  for (std::size_t u : quorum) {
+    const std::size_t site = placement.site_of[u];
+    worst = std::max(worst, row[site] + alpha * site_load[site]);
+  }
+  return worst;
+}
+
+namespace {
+
+/// Per-element values x_u = d(v, f(u)) + alpha * load_f(f(u)); with these,
+/// max over f(Q) equals max over elements of Q, for any placement.
+std::vector<double> element_values(const net::LatencyMatrix& matrix,
+                                   const Placement& placement,
+                                   std::span<const double> site_load, double alpha,
+                                   std::size_t client) {
+  const std::vector<double>& row = matrix.row(client);
+  std::vector<double> values(placement.universe_size());
+  for (std::size_t u = 0; u < values.size(); ++u) {
+    const std::size_t site = placement.site_of[u];
+    values[u] = row[site] + alpha * site_load[site];
+  }
+  return values;
+}
+
+}  // namespace
+
+Evaluation evaluate_closest(const net::LatencyMatrix& matrix,
+                            const quorum::QuorumSystem& system, const Placement& placement,
+                            double alpha, ExecutionModel model) {
+  placement.validate(matrix.size());
+  Evaluation eval;
+  eval.site_load = site_loads_closest(matrix, system, placement, model);
+  eval.per_client_response.reserve(matrix.size());
+  double response_sum = 0.0;
+  double network_sum = 0.0;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    const std::vector<double> distances = element_distances(matrix, placement, v);
+    // The quorum is chosen by network delay alone (that is what "closest"
+    // means); the load term then applies to the chosen quorum.
+    const quorum::Quorum quorum = system.best_quorum(distances);
+    double network = 0.0;
+    for (std::size_t u : quorum) network = std::max(network, distances[u]);
+    const double response = rho(matrix, placement, eval.site_load, alpha, v, quorum);
+    eval.per_client_response.push_back(response);
+    response_sum += response;
+    network_sum += network;
+  }
+  eval.avg_response_ms = response_sum / static_cast<double>(matrix.size());
+  eval.avg_network_delay_ms = network_sum / static_cast<double>(matrix.size());
+  return eval;
+}
+
+Evaluation evaluate_balanced(const net::LatencyMatrix& matrix,
+                             const quorum::QuorumSystem& system, const Placement& placement,
+                             double alpha, ExecutionModel model) {
+  placement.validate(matrix.size());
+  Evaluation eval;
+  eval.site_load = site_loads_balanced(system, placement, matrix.size(), model);
+  eval.per_client_response.reserve(matrix.size());
+  double response_sum = 0.0;
+  double network_sum = 0.0;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    const std::vector<double> values =
+        element_values(matrix, placement, eval.site_load, alpha, v);
+    const std::vector<double> distances = element_distances(matrix, placement, v);
+    const double response = system.expected_max_uniform(values);
+    const double network = system.expected_max_uniform(distances);
+    eval.per_client_response.push_back(response);
+    response_sum += response;
+    network_sum += network;
+  }
+  eval.avg_response_ms = response_sum / static_cast<double>(matrix.size());
+  eval.avg_network_delay_ms = network_sum / static_cast<double>(matrix.size());
+  return eval;
+}
+
+Evaluation evaluate_explicit(const net::LatencyMatrix& matrix,
+                             const quorum::QuorumSystem& system, const Placement& placement,
+                             double alpha, const ExplicitStrategy& strategy,
+                             ExecutionModel model) {
+  placement.validate(matrix.size());
+  strategy.validate(matrix.size(), system.universe_size());
+  Evaluation eval;
+  eval.site_load = site_loads_explicit(strategy, placement, matrix.size(), model);
+  eval.per_client_response.reserve(matrix.size());
+  double response_sum = 0.0;
+  double network_sum = 0.0;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    const std::vector<double> values =
+        element_values(matrix, placement, eval.site_load, alpha, v);
+    const std::vector<double> distances = element_distances(matrix, placement, v);
+    double response = 0.0;
+    double network = 0.0;
+    const std::vector<double>& probs = strategy.probability[v];
+    for (std::size_t i = 0; i < strategy.quorums.size(); ++i) {
+      if (probs[i] == 0.0) continue;
+      double value_max = 0.0;
+      double distance_max = 0.0;
+      for (std::size_t u : strategy.quorums[i]) {
+        value_max = std::max(value_max, values[u]);
+        distance_max = std::max(distance_max, distances[u]);
+      }
+      response += probs[i] * value_max;
+      network += probs[i] * distance_max;
+    }
+    eval.per_client_response.push_back(response);
+    response_sum += response;
+    network_sum += network;
+  }
+  eval.avg_response_ms = response_sum / static_cast<double>(matrix.size());
+  eval.avg_network_delay_ms = network_sum / static_cast<double>(matrix.size());
+  return eval;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,64 @@
+// The response-time model of §4, equations (4.1) and (4.2):
+//
+//   rho_f(v, Q) = max_{w in f(Q)} ( d(v, w) + alpha * load_f(w) )
+//   Delta_f(v)  = sum_Q p_v(Q) rho_f(v, Q)
+//   objective   = avg_{v in V} Delta_f(v)
+//
+// with alpha = op_srv_time * client_demand (§7). Setting alpha = 0 recovers
+// the pure network-delay measure used in §6.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/strategy.hpp"
+#include "net/latency_matrix.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::core {
+
+/// Per-request service time of a Q/U write on the paper's testbed hardware
+/// (§7): 0.007 ms. alpha = kQuWriteServiceMs * client_demand.
+inline constexpr double kQuWriteServiceMs = 0.007;
+
+struct Evaluation {
+  /// avg_v Delta_f(v): the paper's objective, in milliseconds.
+  double avg_response_ms = 0.0;
+  /// Same average with alpha forced to 0 (pure network delay).
+  double avg_network_delay_ms = 0.0;
+  /// load_f(w) per site (zero off the support set).
+  std::vector<double> site_load;
+  /// Delta_f(v) per client.
+  std::vector<double> per_client_response;
+};
+
+/// Closest access strategy (§6): each client deterministically uses its
+/// minimum-network-delay quorum; the load those choices induce still enters
+/// the response time through alpha. `model` selects the §8 execution model
+/// (PerElement reproduces the paper; Collapsed is its future-work variant).
+[[nodiscard]] Evaluation evaluate_closest(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, double alpha,
+    ExecutionModel model = ExecutionModel::PerElement);
+
+/// Balanced access strategy (§7): uniform over all quorums, evaluated
+/// analytically (order statistics for Majorities, enumeration for Grid).
+[[nodiscard]] Evaluation evaluate_balanced(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, double alpha,
+    ExecutionModel model = ExecutionModel::PerElement);
+
+/// Arbitrary explicit per-client strategies (e.g. LP-optimized ones).
+[[nodiscard]] Evaluation evaluate_explicit(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, double alpha, const ExplicitStrategy& strategy,
+    ExecutionModel model = ExecutionModel::PerElement);
+
+/// rho_f(v, Q) per (4.1) for one concrete quorum — shared helper.
+[[nodiscard]] double rho(const net::LatencyMatrix& matrix, const Placement& placement,
+                         std::span<const double> site_load, double alpha, std::size_t client,
+                         const quorum::Quorum& quorum);
+
+}  // namespace qp::core

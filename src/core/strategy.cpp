@@ -1,0 +1,258 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qp::core {
+
+void ExplicitStrategy::validate(std::size_t client_count, std::size_t universe_size,
+                                double tolerance) const {
+  if (probability.size() != client_count) {
+    throw std::invalid_argument{"ExplicitStrategy: wrong client count"};
+  }
+  for (const quorum::Quorum& quorum : quorums) {
+    if (quorum.empty()) throw std::invalid_argument{"ExplicitStrategy: empty quorum"};
+    for (std::size_t u : quorum) {
+      if (u >= universe_size) throw std::out_of_range{"ExplicitStrategy: element out of range"};
+    }
+  }
+  for (const std::vector<double>& row : probability) {
+    if (row.size() != quorums.size()) {
+      throw std::invalid_argument{"ExplicitStrategy: row size != quorum count"};
+    }
+    double sum = 0.0;
+    for (double p : row) {
+      if (p < -tolerance || p > 1.0 + tolerance) {
+        throw std::invalid_argument{"ExplicitStrategy: probability out of [0,1]"};
+      }
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > tolerance) {
+      throw std::invalid_argument{"ExplicitStrategy: row does not sum to 1"};
+    }
+  }
+}
+
+std::vector<double> ExplicitStrategy::average_distribution() const {
+  std::vector<double> average(quorums.size(), 0.0);
+  if (probability.empty()) return average;
+  for (const std::vector<double>& row : probability) {
+    for (std::size_t i = 0; i < average.size(); ++i) average[i] += row[i];
+  }
+  for (double& p : average) p /= static_cast<double>(probability.size());
+  return average;
+}
+
+std::vector<quorum::Quorum> closest_quorums(const net::LatencyMatrix& matrix,
+                                            const quorum::QuorumSystem& system,
+                                            const Placement& placement) {
+  std::vector<quorum::Quorum> result;
+  result.reserve(matrix.size());
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    const std::vector<double> values = element_distances(matrix, placement, v);
+    result.push_back(system.best_quorum(values));
+  }
+  return result;
+}
+
+std::vector<double> element_loads(std::span<const quorum::Quorum> quorums,
+                                  std::span<const double> distribution,
+                                  std::size_t universe_size) {
+  if (quorums.size() != distribution.size()) {
+    throw std::invalid_argument{"element_loads: size mismatch"};
+  }
+  std::vector<double> loads(universe_size, 0.0);
+  for (std::size_t i = 0; i < quorums.size(); ++i) {
+    for (std::size_t u : quorums[i]) {
+      if (u >= universe_size) throw std::out_of_range{"element_loads: element out of range"};
+      loads[u] += distribution[i];
+    }
+  }
+  return loads;
+}
+
+namespace {
+
+/// Adds the per-element loads onto their hosting sites.
+std::vector<double> elements_to_sites(std::span<const double> element_loads,
+                                      const Placement& placement, std::size_t site_count) {
+  placement.validate(site_count);
+  if (element_loads.size() != placement.universe_size()) {
+    throw std::invalid_argument{"elements_to_sites: size mismatch"};
+  }
+  std::vector<double> site_loads(site_count, 0.0);
+  for (std::size_t u = 0; u < element_loads.size(); ++u) {
+    site_loads[placement.site_of[u]] += element_loads[u];
+  }
+  return site_loads;
+}
+
+/// Adds a single quorum access (weight p) onto site loads under the chosen
+/// execution model.
+void charge_quorum(const quorum::Quorum& quorum, const Placement& placement, double p,
+                   ExecutionModel model, std::vector<double>& site_loads,
+                   std::vector<std::size_t>& touched_scratch) {
+  if (model == ExecutionModel::PerElement) {
+    for (std::size_t u : quorum) site_loads[placement.site_of[u]] += p;
+    return;
+  }
+  touched_scratch.clear();
+  for (std::size_t u : quorum) touched_scratch.push_back(placement.site_of[u]);
+  std::sort(touched_scratch.begin(), touched_scratch.end());
+  touched_scratch.erase(std::unique(touched_scratch.begin(), touched_scratch.end()),
+                        touched_scratch.end());
+  for (std::size_t w : touched_scratch) site_loads[w] += p;
+}
+
+}  // namespace
+
+std::vector<double> site_loads_closest(const net::LatencyMatrix& matrix,
+                                       const quorum::QuorumSystem& system,
+                                       const Placement& placement, ExecutionModel model) {
+  const std::vector<quorum::Quorum> chosen = closest_quorums(matrix, system, placement);
+  std::vector<double> site_loads(matrix.size(), 0.0);
+  std::vector<std::size_t> scratch;
+  const double weight = 1.0 / static_cast<double>(matrix.size());
+  for (const quorum::Quorum& quorum : chosen) {
+    charge_quorum(quorum, placement, weight, model, site_loads, scratch);
+  }
+  return site_loads;
+}
+
+std::vector<double> site_loads_balanced(const quorum::QuorumSystem& system,
+                                        const Placement& placement, std::size_t site_count,
+                                        ExecutionModel model) {
+  if (model == ExecutionModel::PerElement) {
+    return elements_to_sites(system.uniform_load(), placement, site_count);
+  }
+  // Collapsed: load(w) = P(uniform quorum touches any element hosted on w).
+  placement.validate(site_count);
+  std::vector<std::vector<std::size_t>> hosted(site_count);
+  for (std::size_t u = 0; u < placement.universe_size(); ++u) {
+    hosted[placement.site_of[u]].push_back(u);
+  }
+  std::vector<double> site_loads(site_count, 0.0);
+  for (std::size_t w = 0; w < site_count; ++w) {
+    if (!hosted[w].empty()) {
+      site_loads[w] = system.uniform_touch_probability(hosted[w]);
+    }
+  }
+  return site_loads;
+}
+
+std::vector<double> site_loads_explicit(const ExplicitStrategy& strategy,
+                                        const Placement& placement, std::size_t site_count,
+                                        ExecutionModel model) {
+  placement.validate(site_count);
+  std::vector<double> site_loads(site_count, 0.0);
+  std::vector<std::size_t> scratch;
+  for (const std::vector<double>& row : strategy.probability) {
+    if (row.size() != strategy.quorums.size()) {
+      throw std::invalid_argument{"site_loads_explicit: row size mismatch"};
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] == 0.0) continue;
+      charge_quorum(strategy.quorums[i], placement, row[i], model, site_loads, scratch);
+    }
+  }
+  if (!strategy.probability.empty()) {
+    for (double& load : site_loads) {
+      load /= static_cast<double>(strategy.probability.size());
+    }
+  }
+  return site_loads;
+}
+
+StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
+                                          const quorum::QuorumSystem& system,
+                                          const Placement& placement,
+                                          std::span<const double> capacities,
+                                          const StrategyLpOptions& options) {
+  placement.validate(matrix.size());
+  if (capacities.size() != matrix.size()) {
+    throw std::invalid_argument{"optimize_access_strategy: capacities size mismatch"};
+  }
+  const std::size_t client_count = matrix.size();
+  const std::vector<quorum::Quorum> quorums = system.enumerate_quorums(options.quorum_limit);
+  const std::size_t m = quorums.size();
+  const double inv_clients = 1.0 / static_cast<double>(client_count);
+
+  // Per-quorum site multiplicities: how many elements of Q_i live on site w.
+  // (For one-to-one placements these are 0/1.)
+  std::vector<std::vector<std::pair<std::size_t, double>>> quorum_sites(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::size_t> sites;
+    sites.reserve(quorums[i].size());
+    for (std::size_t u : quorums[i]) sites.push_back(placement.site_of[u]);
+    std::sort(sites.begin(), sites.end());
+    for (std::size_t a = 0; a < sites.size();) {
+      std::size_t b = a;
+      while (b < sites.size() && sites[b] == sites[a]) ++b;
+      quorum_sites[i].emplace_back(sites[a], static_cast<double>(b - a));
+      a = b;
+    }
+  }
+
+  lp::LpProblem problem;
+  // Variables p_vi, indexed v * m + i; objective = delta_f(v, Q_i) / |V|.
+  for (std::size_t v = 0; v < client_count; ++v) {
+    const std::vector<double>& row = matrix.row(v);
+    for (std::size_t i = 0; i < m; ++i) {
+      double delta = 0.0;
+      for (const auto& [site, count] : quorum_sites[i]) {
+        delta = std::max(delta, row[site]);
+      }
+      (void)problem.add_variable(delta * inv_clients);
+    }
+  }
+
+  // Capacity rows (4.4), one per support site.
+  const std::vector<std::size_t> support = placement.support_set();
+  std::vector<std::size_t> capacity_row(matrix.size(), 0);
+  for (std::size_t w : support) {
+    capacity_row[w] = problem.add_row(lp::RowSense::LessEqual, capacities[w],
+                                      "cap-" + std::to_string(w));
+  }
+  // Distribution rows (4.5).
+  std::vector<std::size_t> simplex_row(client_count);
+  for (std::size_t v = 0; v < client_count; ++v) {
+    simplex_row[v] = problem.add_row(lp::RowSense::Equal, 1.0, "dist-" + std::to_string(v));
+  }
+
+  for (std::size_t v = 0; v < client_count; ++v) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t var = v * m + i;
+      problem.add_coefficient(simplex_row[v], var, 1.0);
+      for (const auto& [site, count] : quorum_sites[i]) {
+        problem.add_coefficient(capacity_row[site], var, count * inv_clients);
+      }
+    }
+  }
+
+  const lp::SimplexSolver solver{options.simplex};
+  const lp::Solution solution = solver.solve(problem);
+
+  StrategyLpResult result;
+  result.status = solution.status;
+  result.lp_iterations = solution.iterations;
+  if (solution.status != lp::SolveStatus::Optimal) return result;
+
+  result.avg_network_delay = solution.objective;
+  result.strategy.quorums = quorums;
+  result.strategy.probability.assign(client_count, std::vector<double>(m, 0.0));
+  for (std::size_t v = 0; v < client_count; ++v) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double p = std::max(0.0, solution.values[v * m + i]);
+      result.strategy.probability[v][i] = p;
+      sum += p;
+    }
+    // Rows sum to 1 up to solver tolerance; normalize exactly.
+    if (sum <= 0.0) throw std::logic_error{"optimize_access_strategy: empty distribution"};
+    for (double& p : result.strategy.probability[v]) p /= sum;
+  }
+  return result;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,92 @@
+// Client access strategies (§4 "Load", §4.2, §7).
+//
+// Three strategy families appear in the paper:
+//   * closest  — p_v puts probability 1 on the quorum with minimum network
+//                delay for v (§6);
+//   * balanced — p_v is uniform over all quorums for every client (§7);
+//   * LP-optimized — per-client distributions solving LP (4.3)-(4.6): they
+//                minimize average network delay subject to per-site capacity
+//                constraints on the induced load.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "lp/simplex.hpp"
+#include "net/latency_matrix.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::core {
+
+/// Per-client distributions over an explicit (shared) quorum list.
+struct ExplicitStrategy {
+  std::vector<quorum::Quorum> quorums;
+  /// probability[v][i] = p_v(quorums[i]); rows sum to 1.
+  std::vector<std::vector<double>> probability;
+
+  /// Throws unless shapes are consistent, probabilities are in [0,1], and
+  /// every row sums to 1 within `tolerance`.
+  void validate(std::size_t client_count, std::size_t universe_size,
+                double tolerance = 1e-6) const;
+
+  /// The average strategy avg({p_v}) of §4.2 — one distribution over quorums.
+  [[nodiscard]] std::vector<double> average_distribution() const;
+};
+
+/// The closest quorum (minimum network delay) for every client.
+[[nodiscard]] std::vector<quorum::Quorum> closest_quorums(const net::LatencyMatrix& matrix,
+                                                          const quorum::QuorumSystem& system,
+                                                          const Placement& placement);
+
+/// load_p(u) for a distribution p over an explicit quorum list:
+/// load(u) = sum over quorums containing u of p(Q).
+[[nodiscard]] std::vector<double> element_loads(std::span<const quorum::Quorum> quorums,
+                                                std::span<const double> distribution,
+                                                std::size_t universe_size);
+
+/// How a site hosting several universe elements charges a quorum access
+/// that touches more than one of them (§8):
+///   PerElement — the paper's model: one execution per hosted element in
+///                the quorum (load adds up per element);
+///   Collapsed  — the paper's future-work variant: one execution per
+///                touching request, however many colocated elements it hits.
+/// The two coincide on one-to-one placements.
+enum class ExecutionModel { PerElement, Collapsed };
+
+/// load_f(w) = avg_v load_{v,f}(w) for the three strategy kinds. Vectors are
+/// indexed by site; sites outside the support set carry load 0.
+[[nodiscard]] std::vector<double> site_loads_closest(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, ExecutionModel model = ExecutionModel::PerElement);
+[[nodiscard]] std::vector<double> site_loads_balanced(
+    const quorum::QuorumSystem& system, const Placement& placement, std::size_t site_count,
+    ExecutionModel model = ExecutionModel::PerElement);
+[[nodiscard]] std::vector<double> site_loads_explicit(
+    const ExplicitStrategy& strategy, const Placement& placement, std::size_t site_count,
+    ExecutionModel model = ExecutionModel::PerElement);
+
+struct StrategyLpResult {
+  lp::SolveStatus status = lp::SolveStatus::Infeasible;
+  ExplicitStrategy strategy;          // Populated when status == Optimal.
+  double avg_network_delay = 0.0;     // LP objective (4.3).
+  std::size_t lp_iterations = 0;
+};
+
+struct StrategyLpOptions {
+  std::size_t quorum_limit = 100'000;
+  lp::SimplexOptions simplex{};
+};
+
+/// Solves LP (4.3)-(4.6): minimize the average expected network delay over
+/// per-client access strategies subject to avg load <= cap on every support
+/// site. `capacities` is indexed by site. Returns Infeasible status when
+/// the capacities cannot carry the workload.
+[[nodiscard]] StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
+                                                        const quorum::QuorumSystem& system,
+                                                        const Placement& placement,
+                                                        std::span<const double> capacities,
+                                                        const StrategyLpOptions& options = {});
+
+}  // namespace qp::core

@@ -1,0 +1,235 @@
+#include "eval/figures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/capacity.hpp"
+#include "core/iterative.hpp"
+#include "core/placement.hpp"
+#include "core/response.hpp"
+#include "core/strategy.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/singleton.hpp"
+#include "sim/client_sites.hpp"
+#include "sim/protocol_sim.hpp"
+
+namespace qp::eval {
+
+std::vector<QuPoint> qu_response_surface(const net::LatencyMatrix& matrix,
+                                         const QuSweepConfig& config) {
+  std::vector<QuPoint> points;
+  for (std::size_t t : config.t_values) {
+    const quorum::MajorityQuorum system =
+        quorum::make_majority(quorum::MajorityFamily::QuThreshold, t);
+    if (system.universe_size() > matrix.size()) continue;
+
+    // Server placement per §3: the known one-to-one algorithm minimizing
+    // average uniform-strategy network delay.
+    const core::PlacementSearchResult search =
+        core::best_majority_placement(matrix, system);
+    const std::vector<std::size_t> client_sites = sim::representative_client_sites(
+        matrix, system, search.placement, config.client_site_count);
+
+    for (std::size_t total_clients : config.client_counts) {
+      const std::size_t per_site =
+          std::max<std::size_t>(1, total_clients / client_sites.size());
+      sim::ProtocolSimConfig sim_config;
+      sim_config.clients_per_site = per_site;
+      sim_config.duration_ms = config.duration_ms;
+      sim_config.warmup_ms = config.warmup_ms;
+      sim_config.per_message_cpu_ms = config.per_message_cpu_ms;
+      sim_config.seed = config.seed + 1000 * t + total_clients;
+      const sim::ProtocolSimResult run = sim::run_protocol_sim(
+          matrix, system, search.placement, client_sites, sim_config);
+
+      QuPoint point;
+      point.t = t;
+      point.universe = system.universe_size();
+      point.clients = per_site * client_sites.size();
+      point.network_delay_ms = run.avg_network_delay_ms;
+      point.response_ms = run.avg_response_ms;
+      point.throughput_rps = run.throughput_rps;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+std::vector<LowDemandPoint> low_demand_sweep(const net::LatencyMatrix& matrix) {
+  std::vector<LowDemandPoint> points;
+
+  // Singleton baseline (one row, universe size 1).
+  {
+    const quorum::SingletonQuorum singleton;
+    const core::Placement placement = core::singleton_placement(matrix);
+    const core::Evaluation eval =
+        core::evaluate_closest(matrix, singleton, placement, /*alpha=*/0.0);
+    points.push_back(LowDemandPoint{singleton.name(), 1, eval.avg_response_ms});
+  }
+
+  // The three Majority families, t growing until n exceeds the site count.
+  for (const quorum::MajorityFamily family :
+       {quorum::MajorityFamily::SimpleMajority, quorum::MajorityFamily::ByzantineMajority,
+        quorum::MajorityFamily::QuThreshold}) {
+    for (std::size_t t = 1; quorum::family_universe(family, t) <= matrix.size(); ++t) {
+      const quorum::MajorityQuorum system = quorum::make_majority(family, t);
+      const core::PlacementSearchResult search =
+          core::best_majority_placement(matrix, system);
+      const core::Evaluation eval =
+          core::evaluate_closest(matrix, system, search.placement, /*alpha=*/0.0);
+      points.push_back(
+          LowDemandPoint{quorum::family_name(family), system.universe_size(),
+                         eval.avg_response_ms});
+    }
+  }
+
+  // Grid, k growing until k^2 exceeds the site count.
+  for (std::size_t k = 2; k * k <= matrix.size(); ++k) {
+    const quorum::GridQuorum system{k};
+    const core::PlacementSearchResult search = core::best_grid_placement(matrix, k);
+    const core::Evaluation eval =
+        core::evaluate_closest(matrix, system, search.placement, /*alpha=*/0.0);
+    points.push_back(LowDemandPoint{"Grid", system.universe_size(), eval.avg_response_ms});
+  }
+  return points;
+}
+
+std::vector<GridDemandPoint> grid_demand_sweep(const net::LatencyMatrix& matrix,
+                                               std::span<const double> demands,
+                                               std::size_t max_side) {
+  if (max_side == 0) {
+    max_side = static_cast<std::size_t>(std::sqrt(static_cast<double>(matrix.size())));
+  }
+  std::vector<GridDemandPoint> points;
+  for (std::size_t k = 2; k <= max_side && k * k <= matrix.size(); ++k) {
+    const quorum::GridQuorum system{k};
+    const core::PlacementSearchResult search = core::best_grid_placement(matrix, k);
+    for (double demand : demands) {
+      const double alpha = core::kQuWriteServiceMs * demand;
+      const core::Evaluation closest =
+          core::evaluate_closest(matrix, system, search.placement, alpha);
+      const core::Evaluation balanced =
+          core::evaluate_balanced(matrix, system, search.placement, alpha);
+      points.push_back(GridDemandPoint{k * k, demand, "closest", closest.avg_response_ms,
+                                       closest.avg_network_delay_ms});
+      points.push_back(GridDemandPoint{k * k, demand, "balanced", balanced.avg_response_ms,
+                                       balanced.avg_network_delay_ms});
+    }
+  }
+  return points;
+}
+
+std::vector<CapacityPoint> capacity_sweep(const net::LatencyMatrix& matrix,
+                                          const CapacitySweepConfig& config) {
+  std::vector<CapacityPoint> points;
+  const double alpha = core::kQuWriteServiceMs * config.client_demand;
+  for (std::size_t k = config.min_side; k <= config.max_side && k * k <= matrix.size();
+       ++k) {
+    const quorum::GridQuorum system{k};
+    const core::PlacementSearchResult search = core::best_grid_placement(matrix, k);
+    const std::vector<std::size_t> support = search.placement.support_set();
+    const double l_opt = system.optimal_load();
+    const std::vector<double> levels =
+        core::uniform_capacity_levels(l_opt, config.levels);
+
+    for (double level : levels) {
+      // Uniform capacities cap(v) = c_i.
+      {
+        const std::vector<double> caps = core::uniform_capacities(matrix.size(), level);
+        const core::StrategyLpResult lp =
+            core::optimize_access_strategy(matrix, system, search.placement, caps);
+        CapacityPoint point;
+        point.universe = k * k;
+        point.capacity_level = level;
+        point.nonuniform = false;
+        point.feasible = lp.status == lp::SolveStatus::Optimal;
+        if (point.feasible) {
+          const core::Evaluation eval = core::evaluate_explicit(
+              matrix, system, search.placement, alpha, lp.strategy);
+          point.response_ms = eval.avg_response_ms;
+          point.network_delay_ms = eval.avg_network_delay_ms;
+        }
+        points.push_back(point);
+      }
+      // Non-uniform capacities in [beta, gamma] = [L_opt, c_i] (§7).
+      if (config.include_nonuniform) {
+        const std::vector<double> caps =
+            core::nonuniform_capacities(matrix, support, l_opt, level);
+        const core::StrategyLpResult lp =
+            core::optimize_access_strategy(matrix, system, search.placement, caps);
+        CapacityPoint point;
+        point.universe = k * k;
+        point.capacity_level = level;
+        point.nonuniform = true;
+        point.feasible = lp.status == lp::SolveStatus::Optimal;
+        if (point.feasible) {
+          const core::Evaluation eval = core::evaluate_explicit(
+              matrix, system, search.placement, alpha, lp.strategy);
+          point.response_ms = eval.avg_response_ms;
+          point.network_delay_ms = eval.avg_network_delay_ms;
+        }
+        points.push_back(point);
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<std::size_t> central_sites(const net::LatencyMatrix& matrix, std::size_t count) {
+  count = std::min(count, matrix.size());
+  std::vector<std::size_t> order(matrix.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> average(matrix.size());
+  for (std::size_t v = 0; v < matrix.size(); ++v) average[v] = matrix.average_rtt_from(v);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return average[a] < average[b]; });
+  order.resize(count);
+  return order;
+}
+
+std::vector<IterativePoint> iterative_sweep(const net::LatencyMatrix& matrix,
+                                            const IterativeSweepConfig& config) {
+  const quorum::GridQuorum system{config.side};
+  if (system.universe_size() > matrix.size()) {
+    throw std::invalid_argument{"iterative_sweep: grid larger than topology"};
+  }
+  std::vector<IterativePoint> points;
+
+  // One-to-one baseline (balanced strategy, matching the uniform access the
+  // iterative algorithm starts from).
+  const core::PlacementSearchResult one_to_one =
+      core::best_grid_placement(matrix, config.side);
+  const core::Evaluation baseline =
+      core::evaluate_balanced(matrix, system, one_to_one.placement, config.alpha);
+
+  const std::vector<double> levels =
+      core::uniform_capacity_levels(system.optimal_load(), config.levels);
+  const std::vector<std::size_t> anchors =
+      config.anchor_count == 0 ? std::vector<std::size_t>{}
+                               : central_sites(matrix, config.anchor_count);
+
+  for (double level : levels) {
+    points.push_back(IterativePoint{level, "one-to-one", baseline.avg_network_delay_ms,
+                                    baseline.avg_response_ms});
+    const std::vector<double> caps = core::uniform_capacities(matrix.size(), level);
+    core::IterativeOptions options;
+    options.anchor_candidates = anchors;
+    const core::IterativeResult iterative =
+        core::iterative_placement(matrix, system, caps, config.alpha, options);
+    for (const core::IterationRecord& record : iterative.history) {
+      const std::string prefix = "iter" + std::to_string(record.iteration);
+      points.push_back(IterativePoint{level, prefix + "-phase1",
+                                      record.network_after_placement,
+                                      record.response_after_placement});
+      points.push_back(IterativePoint{level, prefix + "-phase2",
+                                      record.network_after_strategy,
+                                      record.response_after_strategy});
+    }
+  }
+  return points;
+}
+
+}  // namespace qp::eval

@@ -1,0 +1,126 @@
+// Experiment drivers, one per figure of the paper's evaluation. Each driver
+// returns typed rows; the bench binaries print them as CSV and expose them
+// as google-benchmark counters, and the integration tests assert the
+// qualitative shapes the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/latency_matrix.hpp"
+
+namespace qp::eval {
+
+// ---------------------------------------------------------------- §3 (Q/U)
+
+struct QuPoint {
+  std::size_t t = 0;         // Fault threshold; n = 5t+1, quorum = 4t+1.
+  std::size_t universe = 0;  // n
+  std::size_t clients = 0;   // Total client count across the 10 sites.
+  double network_delay_ms = 0.0;
+  double response_ms = 0.0;
+  double throughput_rps = 0.0;
+};
+
+struct QuSweepConfig {
+  std::vector<std::size_t> t_values{1, 2, 3, 4, 5};
+  std::vector<std::size_t> client_counts{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  std::size_t client_site_count = 10;
+  double duration_ms = 20'000.0;
+  double warmup_ms = 3'000.0;
+  std::uint64_t seed = 42;
+  /// Forwarded to ProtocolSimConfig::per_message_cpu_ms (see its comment).
+  double per_message_cpu_ms = 0.0;
+};
+
+/// Figures 3.1 / 3.2: simulated Q/U response-time surface over
+/// (t, client count) with uniform-random quorum selection.
+[[nodiscard]] std::vector<QuPoint> qu_response_surface(const net::LatencyMatrix& matrix,
+                                                       const QuSweepConfig& config = {});
+
+// ----------------------------------------------------------------- §6 (6.3)
+
+struct LowDemandPoint {
+  std::string system;        // "(t+1,2t+1) Maj", ..., "Grid", "Singleton".
+  std::size_t universe = 0;
+  double response_ms = 0.0;  // alpha = 0, closest strategy.
+};
+
+/// Figure 6.3: response time (= network delay, alpha=0) of the closest
+/// access strategy for the three Majority families, Grid, and the singleton,
+/// as universe size grows.
+[[nodiscard]] std::vector<LowDemandPoint> low_demand_sweep(const net::LatencyMatrix& matrix);
+
+// ------------------------------------------------------------ §7 (6.4, 6.5)
+
+struct GridDemandPoint {
+  std::size_t universe = 0;  // k*k
+  double client_demand = 0.0;
+  std::string strategy;      // "closest" or "balanced".
+  double response_ms = 0.0;
+  double network_delay_ms = 0.0;
+};
+
+/// Figures 6.4 / 6.5: Grid response time & network delay under the closest
+/// and balanced strategies for each demand level (alpha = 0.007 * demand).
+[[nodiscard]] std::vector<GridDemandPoint> grid_demand_sweep(
+    const net::LatencyMatrix& matrix, std::span<const double> demands,
+    std::size_t max_side = 0 /* 0 = largest grid that fits */);
+
+// -------------------------------------------------- §7 (7.6, 7.7, 7.8) LPs
+
+struct CapacityPoint {
+  std::size_t universe = 0;
+  double capacity_level = 0.0;  // The c_i of (7.7).
+  bool nonuniform = false;      // §7 inverse-distance heuristic?
+  double response_ms = 0.0;
+  double network_delay_ms = 0.0;
+  bool feasible = true;
+};
+
+struct CapacitySweepConfig {
+  double client_demand = 16'000.0;
+  std::size_t levels = 10;
+  std::size_t min_side = 2;
+  std::size_t max_side = 7;
+  bool include_nonuniform = false;
+};
+
+/// Figures 7.6/7.7/7.8: for each grid side and capacity level c_i, solve LP
+/// (4.3)-(4.6) (optionally also with §7's non-uniform capacities in
+/// [L_opt, c_i]) and evaluate the resulting strategies at the given demand.
+[[nodiscard]] std::vector<CapacityPoint> capacity_sweep(const net::LatencyMatrix& matrix,
+                                                        const CapacitySweepConfig& config = {});
+
+// ----------------------------------------------------------------- §7 (8.9)
+
+struct IterativePoint {
+  double capacity_level = 0.0;
+  std::string stage;  // "one-to-one", "iter1-phase1", "iter1-phase2", ...
+  double network_delay_ms = 0.0;
+  double response_ms = 0.0;
+};
+
+struct IterativeSweepConfig {
+  std::size_t side = 5;
+  std::size_t levels = 10;
+  /// Anchor candidates for the placement search; 0 = all sites (slow). The
+  /// default tries the 12 most central sites, which empirically matches the
+  /// exhaustive search on these topologies.
+  std::size_t anchor_count = 12;
+  double alpha = 0.0;
+};
+
+/// Figure 8.9: network delay of the iterative many-to-one algorithm, per
+/// iteration/phase, vs. the one-to-one placement, across capacity levels.
+[[nodiscard]] std::vector<IterativePoint> iterative_sweep(
+    const net::LatencyMatrix& matrix, const IterativeSweepConfig& config = {});
+
+/// The `anchor_count` sites with smallest average RTT to all sites —
+/// the candidate v0 set used by iterative_sweep.
+[[nodiscard]] std::vector<std::size_t> central_sites(const net::LatencyMatrix& matrix,
+                                                     std::size_t count);
+
+}  // namespace qp::eval

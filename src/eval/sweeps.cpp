@@ -1,0 +1,55 @@
+#include "eval/sweeps.hpp"
+
+#include <ostream>
+
+namespace qp::eval {
+
+void print_csv(std::ostream& out, std::span<const QuPoint> points) {
+  out << "t,universe,clients,network_delay_ms,response_ms,throughput_rps\n";
+  for (const QuPoint& p : points) {
+    out << p.t << ',' << p.universe << ',' << p.clients << ',' << p.network_delay_ms << ','
+        << p.response_ms << ',' << p.throughput_rps << '\n';
+  }
+}
+
+void print_csv(std::ostream& out, std::span<const LowDemandPoint> points) {
+  out << "system,universe,response_ms\n";
+  for (const LowDemandPoint& p : points) {
+    out << p.system << ',' << p.universe << ',' << p.response_ms << '\n';
+  }
+}
+
+void print_csv(std::ostream& out, std::span<const GridDemandPoint> points) {
+  out << "universe,client_demand,strategy,response_ms,network_delay_ms\n";
+  for (const GridDemandPoint& p : points) {
+    out << p.universe << ',' << p.client_demand << ',' << p.strategy << ',' << p.response_ms
+        << ',' << p.network_delay_ms << '\n';
+  }
+}
+
+void print_csv(std::ostream& out, std::span<const CapacityPoint> points) {
+  out << "universe,capacity_level,nonuniform,feasible,response_ms,network_delay_ms\n";
+  for (const CapacityPoint& p : points) {
+    out << p.universe << ',' << p.capacity_level << ',' << (p.nonuniform ? 1 : 0) << ','
+        << (p.feasible ? 1 : 0) << ',' << p.response_ms << ',' << p.network_delay_ms << '\n';
+  }
+}
+
+void print_csv(std::ostream& out, std::span<const IterativePoint> points) {
+  out << "capacity_level,stage,network_delay_ms,response_ms\n";
+  for (const IterativePoint& p : points) {
+    out << p.capacity_level << ',' << p.stage << ',' << p.network_delay_ms << ','
+        << p.response_ms << '\n';
+  }
+}
+
+std::vector<IterativePoint> rows_for_stage(std::span<const IterativePoint> points,
+                                           const std::string& stage) {
+  std::vector<IterativePoint> result;
+  for (const IterativePoint& p : points) {
+    if (p.stage == stage) result.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace qp::eval

@@ -1,0 +1,24 @@
+// Small shared helpers for printing experiment rows as CSV — used by the
+// bench binaries so every figure's series can be re-plotted from stdout.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/figures.hpp"
+
+namespace qp::eval {
+
+void print_csv(std::ostream& out, std::span<const QuPoint> points);
+void print_csv(std::ostream& out, std::span<const LowDemandPoint> points);
+void print_csv(std::ostream& out, std::span<const GridDemandPoint> points);
+void print_csv(std::ostream& out, std::span<const CapacityPoint> points);
+void print_csv(std::ostream& out, std::span<const IterativePoint> points);
+
+/// Filters rows by a predicate-free convenience: rows matching a stage name.
+[[nodiscard]] std::vector<IterativePoint> rows_for_stage(
+    std::span<const IterativePoint> points, const std::string& stage);
+
+}  // namespace qp::eval

@@ -1,0 +1,56 @@
+#include "flow/assignment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "flow/mincost_flow.hpp"
+
+namespace qp::flow {
+
+std::optional<AssignmentResult> min_cost_assignment(
+    std::size_t item_count, const std::vector<std::size_t>& slot_capacity,
+    const std::vector<AssignmentEdge>& edges) {
+  const std::size_t slot_count = slot_capacity.size();
+  // Node layout: source, items, slots, sink.
+  const std::size_t source = 0;
+  const std::size_t item_base = 1;
+  const std::size_t slot_base = item_base + item_count;
+  const std::size_t sink = slot_base + slot_count;
+  MinCostFlow network{sink + 1};
+
+  for (std::size_t i = 0; i < item_count; ++i) {
+    (void)network.add_edge(source, item_base + i, 1.0, 0.0);
+  }
+  for (std::size_t s = 0; s < slot_count; ++s) {
+    (void)network.add_edge(slot_base + s, sink, static_cast<double>(slot_capacity[s]), 0.0);
+  }
+  std::vector<std::size_t> edge_ids;
+  edge_ids.reserve(edges.size());
+  for (const AssignmentEdge& edge : edges) {
+    if (edge.item >= item_count || edge.slot >= slot_count) {
+      throw std::out_of_range{"min_cost_assignment: edge endpoint out of range"};
+    }
+    edge_ids.push_back(network.add_edge(item_base + edge.item, slot_base + edge.slot, 1.0,
+                                        edge.cost));
+  }
+
+  const auto result = network.solve(source, sink);
+  if (result.flow + 1e-9 < static_cast<double>(item_count)) return std::nullopt;
+
+  AssignmentResult assignment;
+  assignment.slot_of.assign(item_count, slot_count);
+  assignment.total_cost = result.cost;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (network.flow_on(edge_ids[e]) > 0.5) {
+      assignment.slot_of[edges[e].item] = edges[e].slot;
+    }
+  }
+  for (std::size_t i = 0; i < item_count; ++i) {
+    if (assignment.slot_of[i] == slot_count) {
+      throw std::logic_error{"min_cost_assignment: unmatched item despite full flow"};
+    }
+  }
+  return assignment;
+}
+
+}  // namespace qp::flow

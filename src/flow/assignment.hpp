@@ -1,0 +1,32 @@
+// Bipartite minimum-cost assignment, built on MinCostFlow. Each left item is
+// matched to exactly one right slot; slots may accept a bounded number of
+// items. Infeasible (not enough slot capacity or an item with no allowed
+// slot) is reported, not thrown, so callers can relax and retry.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace qp::flow {
+
+struct AssignmentEdge {
+  std::size_t item = 0;
+  std::size_t slot = 0;
+  double cost = 0.0;
+};
+
+struct AssignmentResult {
+  /// slot_of[item] = matched slot index.
+  std::vector<std::size_t> slot_of;
+  double total_cost = 0.0;
+};
+
+/// Minimum-cost assignment of `item_count` items to slots with integer
+/// capacities `slot_capacity`, restricted to the given allowed edges.
+/// Returns nullopt when no perfect assignment exists.
+[[nodiscard]] std::optional<AssignmentResult> min_cost_assignment(
+    std::size_t item_count, const std::vector<std::size_t>& slot_capacity,
+    const std::vector<AssignmentEdge>& edges);
+
+}  // namespace qp::flow

@@ -1,0 +1,134 @@
+#include "flow/mincost_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace qp::flow {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+}  // namespace
+
+MinCostFlow::MinCostFlow(std::size_t node_count) : adjacency_(node_count) {}
+
+void MinCostFlow::check_node(std::size_t v) const {
+  if (v >= adjacency_.size()) throw std::out_of_range{"MinCostFlow: node out of range"};
+}
+
+std::size_t MinCostFlow::add_edge(std::size_t from, std::size_t to, double capacity,
+                                  double cost) {
+  check_node(from);
+  check_node(to);
+  if (capacity < 0.0) throw std::invalid_argument{"MinCostFlow: negative capacity"};
+  if (solved_) throw std::logic_error{"MinCostFlow: add_edge after solve"};
+  adjacency_[from].push_back(Arc{to, adjacency_[to].size(), capacity, cost});
+  adjacency_[to].push_back(Arc{from, adjacency_[from].size() - 1, 0.0, -cost});
+  edge_refs_.emplace_back(from, adjacency_[from].size() - 1);
+  original_capacity_.push_back(capacity);
+  return edge_refs_.size() - 1;
+}
+
+bool MinCostFlow::bellman_ford(std::size_t source, std::vector<double>& potential) const {
+  const std::size_t n = adjacency_.size();
+  potential.assign(n, kInf);
+  potential[source] = 0.0;
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (potential[v] == kInf) continue;
+      for (const Arc& arc : adjacency_[v]) {
+        if (arc.capacity <= kEps) continue;
+        const double candidate = potential[v] + arc.cost;
+        if (candidate < potential[arc.to] - kEps) {
+          potential[arc.to] = candidate;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;  // A negative cycle is reachable.
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::size_t source, std::size_t sink,
+                                       double max_flow) {
+  check_node(source);
+  check_node(sink);
+  if (source == sink) throw std::invalid_argument{"MinCostFlow: source == sink"};
+  if (solved_) throw std::logic_error{"MinCostFlow: solve called twice"};
+  solved_ = true;
+
+  const std::size_t n = adjacency_.size();
+  std::vector<double> potential;
+  if (!bellman_ford(source, potential)) {
+    throw std::invalid_argument{"MinCostFlow: negative cycle detected"};
+  }
+  // Unreachable nodes keep potential 0 (they will never be relaxed).
+  for (double& p : potential) {
+    if (p == kInf) p = 0.0;
+  }
+
+  Result result;
+  std::vector<double> distance(n);
+  std::vector<std::pair<std::size_t, std::size_t>> parent(n);  // (node, arc idx)
+
+  while (result.flow < max_flow - kEps) {
+    // Dijkstra on reduced costs.
+    distance.assign(n, kInf);
+    distance[source] = 0.0;
+    using Entry = std::pair<double, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > distance[v] + kEps) continue;
+      for (std::size_t a = 0; a < adjacency_[v].size(); ++a) {
+        const Arc& arc = adjacency_[v][a];
+        if (arc.capacity <= kEps) continue;
+        const double reduced = arc.cost + potential[v] - potential[arc.to];
+        const double candidate = d + reduced;
+        if (candidate < distance[arc.to] - kEps) {
+          distance[arc.to] = candidate;
+          parent[arc.to] = {v, a};
+          heap.emplace(candidate, arc.to);
+        }
+      }
+    }
+    if (distance[sink] == kInf) break;  // No augmenting path remains.
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (distance[v] < kInf) potential[v] += distance[v];
+    }
+
+    // Bottleneck along the path.
+    double push = max_flow - result.flow;
+    for (std::size_t v = sink; v != source;) {
+      const auto [pv, pa] = parent[v];
+      push = std::min(push, adjacency_[pv][pa].capacity);
+      v = pv;
+    }
+    for (std::size_t v = sink; v != source;) {
+      const auto [pv, pa] = parent[v];
+      Arc& arc = adjacency_[pv][pa];
+      arc.capacity -= push;
+      adjacency_[arc.to][arc.reverse].capacity += push;
+      result.cost += push * arc.cost;
+      v = pv;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+double MinCostFlow::flow_on(std::size_t edge_id) const {
+  if (edge_id >= edge_refs_.size()) throw std::out_of_range{"MinCostFlow: bad edge id"};
+  const auto [node, index] = edge_refs_[edge_id];
+  return original_capacity_[edge_id] - adjacency_[node][index].capacity;
+}
+
+}  // namespace qp::flow

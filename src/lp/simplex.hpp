@@ -1,0 +1,64 @@
+// Two-phase revised simplex with a dense explicit basis inverse.
+//
+// This solver replaces glpsol in the paper's toolchain. It is sized for the
+// LPs this project produces: a few hundred rows, up to a few tens of
+// thousands of sparse columns. Design choices:
+//   * dense m x m basis inverse updated by eta (pivot) transformations,
+//     refactorized from scratch every `refactor_interval` pivots to bound
+//     numerical drift;
+//   * Dantzig pricing with a Bland's-rule fallback after a run of degenerate
+//     pivots, which guarantees termination;
+//   * phase 1 minimizes the sum of artificial variables (added only for rows
+//     that need them), phase 2 re-prices with the true objective and drives
+//     any residual zero-level artificials out of the basis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace qp::lp {
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+[[nodiscard]] std::string to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0.0;
+  /// Primal values for the structural variables (empty unless Optimal).
+  std::vector<double> values;
+  /// Row duals y (empty unless Optimal). Sign convention: for the
+  /// minimization problem, y_i <= 0 for LessEqual rows at optimality.
+  std::vector<double> duals;
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  /// Feasibility / optimality tolerance on reduced costs and row activity.
+  double tolerance = 1e-9;
+  /// Minimum pivot magnitude accepted in the ratio test.
+  double pivot_tolerance = 1e-8;
+  /// 0 = automatic (50 * (rows + cols) + 1000).
+  std::size_t max_iterations = 0;
+  /// Rebuild the basis inverse from scratch this often.
+  std::size_t refactor_interval = 100;
+  /// Switch to Bland's rule after this many consecutive degenerate pivots.
+  std::size_t degenerate_switch = 40;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves min c^T x, Ax {<=,=,>=} b, x >= 0. The problem is consolidated
+  /// (duplicate coefficients merged) as a side effect.
+  [[nodiscard]] Solution solve(LpProblem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace qp::lp

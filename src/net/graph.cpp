@@ -1,0 +1,74 @@
+#include "net/graph.hpp"
+
+#include <stdexcept>
+
+namespace qp::net {
+
+Graph::Graph(std::size_t node_count)
+    : adjacency_(node_count), capacities_(node_count, 1.0), names_(node_count) {
+  for (std::size_t v = 0; v < node_count; ++v) {
+    names_[v] = "node-" + std::to_string(v);
+  }
+}
+
+void Graph::check_node(NodeId v) const {
+  if (v >= adjacency_.size()) throw std::out_of_range{"Graph: node id out of range"};
+}
+
+void Graph::add_edge(NodeId a, NodeId b, double length) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument{"Graph::add_edge: self-loop"};
+  if (length <= 0.0) throw std::invalid_argument{"Graph::add_edge: length must be positive"};
+  adjacency_[a].push_back(Edge{b, length});
+  adjacency_[b].push_back(Edge{a, length});
+  ++edge_count_;
+}
+
+std::span<const Edge> Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adjacency_[v];
+}
+
+double Graph::capacity(NodeId v) const {
+  check_node(v);
+  return capacities_[v];
+}
+
+void Graph::set_capacity(NodeId v, double cap) {
+  check_node(v);
+  if (cap < 0.0) throw std::invalid_argument{"Graph::set_capacity: negative capacity"};
+  capacities_[v] = cap;
+}
+
+const std::string& Graph::name(NodeId v) const {
+  check_node(v);
+  return names_[v];
+}
+
+void Graph::set_name(NodeId v, std::string name) {
+  check_node(v);
+  names_[v] = std::move(name);
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const Edge& e : adjacency_[v]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace qp::net

@@ -1,0 +1,52 @@
+// Weighted undirected graph, the paper's network model G = (V, E) with
+// positive edge lengths and per-node capacities (§4 "Network").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qp::net {
+
+using NodeId = std::size_t;
+
+struct Edge {
+  NodeId to = 0;
+  double length = 0.0;  // Positive; induces the distance function d.
+};
+
+/// Undirected graph with adjacency lists. Node capacities default to 1.0
+/// (the paper treats cap(v) in [0,1] as a tunable, §7).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Adds an undirected edge; throws on self-loop, bad ids, or non-positive length.
+  void add_edge(NodeId a, NodeId b, double length);
+
+  [[nodiscard]] std::span<const Edge> neighbors(NodeId v) const;
+
+  [[nodiscard]] double capacity(NodeId v) const;
+  void set_capacity(NodeId v, double cap);
+
+  [[nodiscard]] const std::string& name(NodeId v) const;
+  void set_name(NodeId v, std::string name);
+
+  /// True iff every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<double> capacities_;
+  std::vector<std::string> names_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace qp::net

@@ -1,0 +1,131 @@
+#include "net/latency_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/shortest_paths.hpp"
+
+namespace qp::net {
+
+LatencyMatrix::LatencyMatrix(std::vector<std::vector<double>> rtt_ms,
+                             std::vector<std::string> site_names,
+                             double symmetry_tolerance)
+    : rtt_(std::move(rtt_ms)), names_(std::move(site_names)) {
+  const std::size_t n = rtt_.size();
+  if (!names_.empty() && names_.size() != n) {
+    throw std::invalid_argument{"LatencyMatrix: name count != site count"};
+  }
+  if (names_.empty()) {
+    names_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) names_[i] = "site-" + std::to_string(i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rtt_[i].size() != n) throw std::invalid_argument{"LatencyMatrix: non-square"};
+    if (rtt_[i][i] != 0.0) throw std::invalid_argument{"LatencyMatrix: nonzero diagonal"};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!(rtt_[i][j] >= 0.0) || !std::isfinite(rtt_[i][j])) {
+        throw std::invalid_argument{"LatencyMatrix: entries must be finite and >= 0"};
+      }
+    }
+  }
+  // Symmetrize: measured RTTs differ slightly by direction; average them.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double gap = std::abs(rtt_[i][j] - rtt_[j][i]);
+      const double scale = std::max({1.0, rtt_[i][j], rtt_[j][i]});
+      if (gap > symmetry_tolerance * scale) {
+        throw std::invalid_argument{"LatencyMatrix: matrix is not symmetric"};
+      }
+      const double avg = 0.5 * (rtt_[i][j] + rtt_[j][i]);
+      rtt_[i][j] = rtt_[j][i] = avg;
+    }
+  }
+}
+
+LatencyMatrix LatencyMatrix::from_graph(const Graph& graph) {
+  auto dist = all_pairs_shortest_paths(graph);
+  for (const auto& row : dist) {
+    for (double d : row) {
+      if (!std::isfinite(d)) {
+        throw std::invalid_argument{"LatencyMatrix::from_graph: graph is disconnected"};
+      }
+    }
+  }
+  std::vector<std::string> names(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) names[v] = graph.name(v);
+  return LatencyMatrix{std::move(dist), std::move(names)};
+}
+
+void LatencyMatrix::check_site(std::size_t v) const {
+  if (v >= rtt_.size()) throw std::out_of_range{"LatencyMatrix: site out of range"};
+}
+
+double LatencyMatrix::rtt(std::size_t a, std::size_t b) const {
+  check_site(a);
+  check_site(b);
+  return rtt_[a][b];
+}
+
+const std::vector<double>& LatencyMatrix::row(std::size_t a) const {
+  check_site(a);
+  return rtt_[a];
+}
+
+const std::string& LatencyMatrix::site_name(std::size_t v) const {
+  check_site(v);
+  return names_[v];
+}
+
+bool LatencyMatrix::satisfies_triangle_inequality(double tolerance) const {
+  const std::size_t n = size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (rtt_[a][c] > rtt_[a][b] + rtt_[b][c] + tolerance) return false;
+      }
+    }
+  }
+  return true;
+}
+
+LatencyMatrix LatencyMatrix::metric_closure() const {
+  return LatencyMatrix{floyd_warshall(rtt_), names_};
+}
+
+double LatencyMatrix::average_rtt_from(std::size_t v) const {
+  check_site(v);
+  const auto& r = rtt_[v];
+  return std::accumulate(r.begin(), r.end(), 0.0) / static_cast<double>(r.size());
+}
+
+std::size_t LatencyMatrix::median_site() const {
+  if (rtt_.empty()) throw std::logic_error{"LatencyMatrix::median_site: empty matrix"};
+  std::size_t best = 0;
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (std::size_t v = 0; v < size(); ++v) {
+    const double sum = std::accumulate(rtt_[v].begin(), rtt_[v].end(), 0.0);
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> LatencyMatrix::ball(std::size_t v, std::size_t k) const {
+  check_site(v);
+  if (k > size()) throw std::invalid_argument{"LatencyMatrix::ball: k > site count"};
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rtt_[v][a] != rtt_[v][b]) return rtt_[v][a] < rtt_[v][b];
+    return a < b;
+  });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace qp::net

@@ -1,0 +1,63 @@
+// LatencyMatrix: the symmetric round-trip-time matrix (in milliseconds) that
+// stands in for the paper's measured Planetlab-50 / daxlist-161 datasets.
+//
+// All placement and strategy algorithms consume a LatencyMatrix rather than a
+// Graph: measured WAN data arrives as a distance matrix, and graph inputs are
+// converted via all-pairs shortest paths (see from_graph).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace qp::net {
+
+class LatencyMatrix {
+ public:
+  /// Builds from a full matrix. Requires: square, zero diagonal, symmetric to
+  /// within `symmetry_tolerance` (asymmetry is averaged away), non-negative.
+  explicit LatencyMatrix(std::vector<std::vector<double>> rtt_ms,
+                         std::vector<std::string> site_names = {},
+                         double symmetry_tolerance = 1e-6);
+
+  /// Distance function of a graph: metric closure via shortest paths.
+  [[nodiscard]] static LatencyMatrix from_graph(const Graph& graph);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rtt_.size(); }
+
+  /// RTT between sites in milliseconds; rtt(v, v) == 0.
+  [[nodiscard]] double rtt(std::size_t a, std::size_t b) const;
+
+  [[nodiscard]] const std::vector<double>& row(std::size_t a) const;
+
+  [[nodiscard]] const std::string& site_name(std::size_t v) const;
+
+  /// True iff d(a,c) <= d(a,b) + d(b,c) + tolerance for all triples.
+  [[nodiscard]] bool satisfies_triangle_inequality(double tolerance = 1e-9) const;
+
+  /// Returns a metric-closed copy (shortest paths through the complete graph
+  /// whose edge weights are the matrix entries). Idempotent on metrics.
+  [[nodiscard]] LatencyMatrix metric_closure() const;
+
+  /// Average RTT from `v` to every site (including itself, matching the
+  /// paper's avg over all clients V). This is s_i in §7's heuristic.
+  [[nodiscard]] double average_rtt_from(std::size_t v) const;
+
+  /// The site minimizing the sum of distances to all sites (graph median);
+  /// used by the singleton placement.
+  [[nodiscard]] std::size_t median_site() const;
+
+  /// Indices of the `k` sites closest to `v` (v itself first) — the ball
+  /// B(v, k) of §4.1.1. Ties broken by site index for determinism.
+  [[nodiscard]] std::vector<std::size_t> ball(std::size_t v, std::size_t k) const;
+
+ private:
+  void check_site(std::size_t v) const;
+
+  std::vector<std::vector<double>> rtt_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace qp::net

@@ -1,0 +1,72 @@
+#include "net/random_graphs.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qp::net {
+
+Graph waxman_graph(const WaxmanConfig& config) {
+  if (config.node_count < 2) throw std::invalid_argument{"waxman_graph: need >= 2 nodes"};
+  if (config.alpha <= 0.0 || config.alpha > 1.0 || config.beta <= 0.0) {
+    throw std::invalid_argument{"waxman_graph: alpha in (0,1], beta > 0 required"};
+  }
+  common::Rng rng{config.seed};
+  const std::size_t n = config.node_count;
+  std::vector<double> x(n), y(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    x[v] = rng.uniform(0.0, config.region_size_ms);
+    y[v] = rng.uniform(0.0, config.region_size_ms);
+  }
+  const auto rtt = [&](std::size_t a, std::size_t b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    // RTT = 2x one-way propagation; floor keeps lengths positive.
+    return std::max(0.05, 2.0 * std::sqrt(dx * dx + dy * dy));
+  };
+  const double max_distance = 2.0 * config.region_size_ms * std::numbers::sqrt2;
+
+  Graph graph{n};
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double p = config.alpha * std::exp(-rtt(a, b) / (config.beta * max_distance));
+      if (rng.uniform() < p) graph.add_edge(a, b, rtt(a, b));
+    }
+  }
+
+  // Stitch components together with shortest possible links (union-find).
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&](std::size_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const Edge& e : graph.neighbors(v)) parent[find(v)] = find(e.to);
+  }
+  for (;;) {
+    // Find the globally closest pair of nodes in different components.
+    std::size_t best_a = n, best_b = n;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (find(a) == find(b)) continue;
+        if (rtt(a, b) < best) {
+          best = rtt(a, b);
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a == n) break;  // Single component.
+    graph.add_edge(best_a, best_b, best);
+    parent[find(best_a)] = find(best_b);
+  }
+  return graph;
+}
+
+}  // namespace qp::net

@@ -1,0 +1,30 @@
+// Random graph topologies. The paper's matrices come from measurements; the
+// Waxman generator below produces *graph* inputs (routers + links) so the
+// Graph -> shortest-paths -> LatencyMatrix pipeline is exercised end-to-end
+// and users can study placements on synthetic internetwork graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+
+namespace qp::net {
+
+struct WaxmanConfig {
+  std::size_t node_count = 50;
+  /// Edge probability scale (higher = denser).
+  double alpha = 0.4;
+  /// Locality: edge probability decays as exp(-d / (beta * max_distance)).
+  double beta = 0.25;
+  /// Side of the square region, in milliseconds of one-way propagation:
+  /// edge lengths are RTT-like (2x Euclidean distance).
+  double region_size_ms = 40.0;
+  std::uint64_t seed = 1;
+};
+
+/// Classic Waxman random graph on uniformly placed nodes. Extra minimum-
+/// distance edges are added between components afterwards, so the result is
+/// always connected. Deterministic in the seed.
+[[nodiscard]] Graph waxman_graph(const WaxmanConfig& config);
+
+}  // namespace qp::net

@@ -1,0 +1,64 @@
+#include "net/shortest_paths.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace qp::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> dijkstra(const Graph& graph, NodeId source) {
+  const std::size_t n = graph.node_count();
+  if (source >= n) throw std::out_of_range{"dijkstra: source out of range"};
+  std::vector<double> dist(n, kInf);
+  dist[source] = 0.0;
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;  // Stale entry.
+    for (const Edge& e : graph.neighbors(v)) {
+      const double candidate = d + e.length;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        heap.emplace(candidate, e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<double>> all_pairs_shortest_paths(const Graph& graph) {
+  std::vector<std::vector<double>> result;
+  result.reserve(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    result.push_back(dijkstra(graph, v));
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> floyd_warshall(std::vector<std::vector<double>> dist) {
+  const std::size_t n = dist.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dist[i].size() != n) throw std::invalid_argument{"floyd_warshall: non-square matrix"};
+    if (dist[i][i] != 0.0) throw std::invalid_argument{"floyd_warshall: nonzero diagonal"};
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = dist[i][k];
+      if (dik == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double candidate = dik + dist[k][j];
+        if (candidate < dist[i][j]) dist[i][j] = candidate;
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace qp::net

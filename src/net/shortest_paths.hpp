@@ -1,0 +1,24 @@
+// Shortest-path computations producing the distance function d : V x V -> R+
+// that all placement algorithms consume.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace qp::net {
+
+/// Single-source Dijkstra; unreachable nodes get +infinity.
+[[nodiscard]] std::vector<double> dijkstra(const Graph& graph, NodeId source);
+
+/// All-pairs shortest paths. Uses repeated Dijkstra (graphs here are sparse
+/// and small: at most a few hundred nodes). result[u][v] symmetric.
+[[nodiscard]] std::vector<std::vector<double>> all_pairs_shortest_paths(const Graph& graph);
+
+/// Floyd–Warshall over an explicit matrix (used to metric-close measured
+/// latency matrices, which routinely violate the triangle inequality).
+/// The input must be square with zero diagonal; entries may be +infinity.
+[[nodiscard]] std::vector<std::vector<double>> floyd_warshall(
+    std::vector<std::vector<double>> distances);
+
+}  // namespace qp::net

@@ -1,0 +1,103 @@
+#include "quorum/grid.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace qp::quorum {
+
+GridQuorum::GridQuorum(std::size_t k) : k_(k) {
+  if (k_ == 0) throw std::invalid_argument{"GridQuorum: k must be >= 1"};
+}
+
+std::string GridQuorum::name() const {
+  return "Grid(" + std::to_string(k_) + "x" + std::to_string(k_) + ")";
+}
+
+double GridQuorum::quorum_count() const noexcept {
+  return static_cast<double>(k_) * static_cast<double>(k_);
+}
+
+Quorum GridQuorum::quorum_for(std::size_t row, std::size_t column) const {
+  if (row >= k_ || column >= k_) throw std::out_of_range{"GridQuorum::quorum_for"};
+  Quorum quorum;
+  quorum.reserve(2 * k_ - 1);
+  for (std::size_t c = 0; c < k_; ++c) quorum.push_back(row * k_ + c);
+  for (std::size_t r = 0; r < k_; ++r) {
+    if (r != row) quorum.push_back(r * k_ + column);
+  }
+  std::sort(quorum.begin(), quorum.end());
+  return quorum;
+}
+
+std::vector<Quorum> GridQuorum::enumerate_quorums(std::size_t limit) const {
+  if (!enumerable(limit)) throw std::domain_error{name() + ": enumeration limit too low"};
+  std::vector<Quorum> quorums;
+  quorums.reserve(k_ * k_);
+  for (std::size_t r = 0; r < k_; ++r) {
+    for (std::size_t c = 0; c < k_; ++c) quorums.push_back(quorum_for(r, c));
+  }
+  return quorums;
+}
+
+std::vector<double> GridQuorum::quorum_maxima(std::span<const double> values) const {
+  check_values_size(*this, values);
+  std::vector<double> row_max(k_, -std::numeric_limits<double>::infinity());
+  std::vector<double> col_max(k_, -std::numeric_limits<double>::infinity());
+  for (std::size_t r = 0; r < k_; ++r) {
+    for (std::size_t c = 0; c < k_; ++c) {
+      const double v = values[r * k_ + c];
+      row_max[r] = std::max(row_max[r], v);
+      col_max[c] = std::max(col_max[c], v);
+    }
+  }
+  std::vector<double> result(k_ * k_, 0.0);
+  for (std::size_t r = 0; r < k_; ++r) {
+    for (std::size_t c = 0; c < k_; ++c) {
+      result[r * k_ + c] = std::max(row_max[r], col_max[c]);
+    }
+  }
+  return result;
+}
+
+Quorum GridQuorum::best_quorum(std::span<const double> values) const {
+  const std::vector<double> maxima = quorum_maxima(values);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < maxima.size(); ++i) {
+    if (maxima[i] < maxima[best]) best = i;
+  }
+  return quorum_for(best / k_, best % k_);
+}
+
+double GridQuorum::expected_max_uniform(std::span<const double> values) const {
+  const std::vector<double> maxima = quorum_maxima(values);
+  double sum = 0.0;
+  for (double m : maxima) sum += m;
+  return sum / static_cast<double>(maxima.size());
+}
+
+std::vector<double> GridQuorum::uniform_load() const {
+  // Element (r, c) is in quorum (r', c') iff r == r' or c == c':
+  // k + k - 1 of the k^2 quorums.
+  const double load = static_cast<double>(2 * k_ - 1) /
+                      (static_cast<double>(k_) * static_cast<double>(k_));
+  return std::vector<double>(k_ * k_, load);
+}
+
+double GridQuorum::optimal_load() const noexcept {
+  return static_cast<double>(2 * k_ - 1) /
+         (static_cast<double>(k_) * static_cast<double>(k_));
+}
+
+std::vector<Quorum> GridQuorum::sample_quorums(std::size_t count, common::Rng& rng) const {
+  std::vector<Quorum> result;
+  result.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t r = static_cast<std::size_t>(rng.below(k_));
+    const std::size_t c = static_cast<std::size_t>(rng.below(k_));
+    result.push_back(quorum_for(r, c));
+  }
+  return result;
+}
+
+}  // namespace qp::quorum

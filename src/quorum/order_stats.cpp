@@ -1,0 +1,47 @@
+#include "quorum/order_stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/combinatorics.hpp"
+
+namespace qp::quorum {
+
+std::vector<double> max_order_distribution(std::span<const double> values,
+                                           std::size_t subset_size) {
+  const std::size_t n = values.size();
+  if (subset_size == 0 || subset_size > n) {
+    throw std::invalid_argument{"max_order_distribution: bad subset size"};
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  // P(max <= x_(i)) = C(i, q) / C(n, q); the pmf is the CDF difference.
+  std::vector<double> pmf(n, 0.0);
+  double previous_cdf = 0.0;
+  for (std::size_t i = subset_size; i <= n; ++i) {
+    const double cdf = common::binomial_ratio(i, n, subset_size);
+    pmf[i - 1] = cdf - previous_cdf;
+    previous_cdf = cdf;
+  }
+  return pmf;
+}
+
+double expected_max_uniform_subset(std::span<const double> values,
+                                   std::size_t subset_size) {
+  const std::size_t n = values.size();
+  if (subset_size == 0 || subset_size > n) {
+    throw std::invalid_argument{"expected_max_uniform_subset: bad subset size"};
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double expectation = 0.0;
+  double previous_cdf = 0.0;
+  for (std::size_t i = subset_size; i <= n; ++i) {
+    const double cdf = common::binomial_ratio(i, n, subset_size);
+    expectation += sorted[i - 1] * (cdf - previous_cdf);
+    previous_cdf = cdf;
+  }
+  return expectation;
+}
+
+}  // namespace qp::quorum

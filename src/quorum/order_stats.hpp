@@ -1,0 +1,27 @@
+// Order statistics of the maximum over a uniformly random fixed-size subset.
+//
+// For Majority quorum systems a quorum is a uniform random q-subset of the
+// universe, so the expected response-time term E[ max_{u in Q} x_u ] can be
+// computed analytically from the sorted x values instead of enumerating the
+// astronomically many quorums:
+//   P( max <= x_(i) ) = C(i, q) / C(n, q)    (x sorted ascending, 1-based i)
+// Binomials are evaluated in log space so n in the hundreds is exact.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qp::quorum {
+
+/// E[ max_{i in S} values[i] ] over uniform random subsets S of the given
+/// size. Throws if subset_size is 0 or exceeds values.size().
+[[nodiscard]] double expected_max_uniform_subset(std::span<const double> values,
+                                                 std::size_t subset_size);
+
+/// P(max = sorted_values[i]) for each i (values sorted ascending internally;
+/// probabilities returned aligned to the sorted order). Mostly a test hook.
+[[nodiscard]] std::vector<double> max_order_distribution(std::span<const double> values,
+                                                         std::size_t subset_size);
+
+}  // namespace qp::quorum

@@ -1,0 +1,60 @@
+#include "quorum/quorum_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qp::quorum {
+
+bool QuorumSystem::verify_intersection(std::size_t limit) const {
+  const std::vector<Quorum> quorums = enumerate_quorums(limit);
+  for (std::size_t a = 0; a < quorums.size(); ++a) {
+    for (std::size_t b = a + 1; b < quorums.size(); ++b) {
+      // Quorums are sorted, so intersection is a linear merge.
+      std::size_t i = 0, j = 0;
+      bool intersects = false;
+      while (i < quorums[a].size() && j < quorums[b].size()) {
+        if (quorums[a][i] == quorums[b][j]) {
+          intersects = true;
+          break;
+        }
+        if (quorums[a][i] < quorums[b][j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      if (!intersects) return false;
+    }
+  }
+  return true;
+}
+
+double QuorumSystem::uniform_touch_probability(std::span<const std::size_t> elements) const {
+  for (std::size_t u : elements) {
+    if (u >= universe_size()) {
+      throw std::out_of_range{"uniform_touch_probability: element out of range"};
+    }
+  }
+  if (elements.empty()) return 0.0;
+  const std::vector<Quorum> quorums = enumerate_quorums();
+  std::vector<bool> marked(universe_size(), false);
+  for (std::size_t u : elements) marked[u] = true;
+  std::size_t touching = 0;
+  for (const Quorum& quorum : quorums) {
+    for (std::size_t u : quorum) {
+      if (marked[u]) {
+        ++touching;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(touching) / static_cast<double>(quorums.size());
+}
+
+void check_values_size(const QuorumSystem& system, std::span<const double> values) {
+  if (values.size() != system.universe_size()) {
+    throw std::invalid_argument{"quorum: values size != universe size for " + system.name()};
+  }
+}
+
+}  // namespace qp::quorum

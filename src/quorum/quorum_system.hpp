@@ -1,0 +1,87 @@
+// Quorum-system abstraction (§4 "Quorum placement" / "Load").
+//
+// A quorum system over a universe U = {0..n-1} is a collection of pairwise
+// intersecting subsets. The placement/strategy algorithms need four
+// capabilities from a system, each of which concrete systems provide either
+// analytically or by enumeration:
+//   * best_quorum(x)           — argmin_Q max_{u in Q} x_u (the "closest
+//                                 quorum" when x is a distance vector);
+//   * expected_max_uniform(x)  — E[max_{u in Q} x_u] under the uniform
+//                                 ("balanced") access strategy;
+//   * uniform_load()           — load(u) induced by the uniform strategy;
+//   * enumerate_quorums()      — explicit quorum list when tractable, used
+//                                 by the LP access-strategy optimizer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qp::quorum {
+
+/// A quorum: sorted, distinct element indices in [0, universe_size).
+using Quorum = std::vector<std::size_t>;
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  [[nodiscard]] virtual std::size_t universe_size() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of quorums, as a double because Majority counts overflow.
+  [[nodiscard]] virtual double quorum_count() const noexcept = 0;
+
+  /// True when enumerate_quorums() would produce at most `limit` quorums.
+  [[nodiscard]] bool enumerable(std::size_t limit = 100'000) const noexcept {
+    return quorum_count() <= static_cast<double>(limit);
+  }
+
+  /// Explicit quorum list; throws std::domain_error when not enumerable
+  /// within the given limit.
+  [[nodiscard]] virtual std::vector<Quorum> enumerate_quorums(
+      std::size_t limit = 100'000) const = 0;
+
+  /// A quorum minimizing max_{u in Q} values[u]; requires values.size() == n.
+  /// Deterministic tie-breaking (lowest element indices win).
+  [[nodiscard]] virtual Quorum best_quorum(std::span<const double> values) const = 0;
+
+  /// E[ max_{u in Q} values[u] ] for Q drawn uniformly over all quorums.
+  [[nodiscard]] virtual double expected_max_uniform(std::span<const double> values) const = 0;
+
+  /// load(u) under the uniform access strategy, for each element.
+  [[nodiscard]] virtual std::vector<double> uniform_load() const = 0;
+
+  /// The system's optimal load L_opt (the paper's capacity lower bound, §7).
+  /// For the symmetric systems here this is the busiest element's load under
+  /// the uniform strategy. Not noexcept: some systems compute it by
+  /// enumeration.
+  [[nodiscard]] virtual double optimal_load() const = 0;
+
+  /// Verifies the pairwise-intersection property by enumeration. Throws
+  /// std::domain_error if the system is too large to enumerate.
+  [[nodiscard]] bool verify_intersection(std::size_t limit = 20'000) const;
+
+  /// Draws `count` quorums uniformly at random (with replacement). Supports
+  /// Monte-Carlo cross-checks and approximate LP formulations for systems
+  /// too large to enumerate.
+  [[nodiscard]] virtual std::vector<Quorum> sample_quorums(std::size_t count,
+                                                           common::Rng& rng) const = 0;
+
+  /// P( Q intersects `elements` ) for Q drawn uniformly over all quorums.
+  /// Used by the collapsed-execution load model (§8 future work), where a
+  /// site hosting several universe elements executes a touching request only
+  /// once. `elements` must be distinct and in range. The default enumerates;
+  /// Majority overrides with the hypergeometric closed form.
+  [[nodiscard]] virtual double uniform_touch_probability(
+      std::span<const std::size_t> elements) const;
+};
+
+/// Validates a values span against the universe size; shared by systems.
+void check_values_size(const QuorumSystem& system, std::span<const double> values);
+
+}  // namespace qp::quorum

@@ -1,0 +1,26 @@
+#include "quorum/singleton.hpp"
+
+namespace qp::quorum {
+
+std::vector<Quorum> SingletonQuorum::enumerate_quorums(std::size_t) const {
+  return {Quorum{0}};
+}
+
+Quorum SingletonQuorum::best_quorum(std::span<const double> values) const {
+  check_values_size(*this, values);
+  return Quorum{0};
+}
+
+double SingletonQuorum::expected_max_uniform(std::span<const double> values) const {
+  check_values_size(*this, values);
+  return values[0];
+}
+
+std::vector<double> SingletonQuorum::uniform_load() const { return {1.0}; }
+
+std::vector<Quorum> SingletonQuorum::sample_quorums(std::size_t count,
+                                                    common::Rng&) const {
+  return std::vector<Quorum>(count, Quorum{0});
+}
+
+}  // namespace qp::quorum

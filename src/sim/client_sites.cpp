@@ -1,0 +1,35 @@
+#include "sim/client_sites.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qp::sim {
+
+std::vector<std::size_t> representative_client_sites(const net::LatencyMatrix& matrix,
+                                                     const quorum::QuorumSystem& system,
+                                                     const core::Placement& placement,
+                                                     std::size_t count) {
+  if (count == 0 || count > matrix.size()) {
+    throw std::invalid_argument{"representative_client_sites: bad count"};
+  }
+  std::vector<double> delay(matrix.size());
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    const std::vector<double> distances = core::element_distances(matrix, placement, v);
+    delay[v] = system.expected_max_uniform(distances);
+  }
+  const double target =
+      std::accumulate(delay.begin(), delay.end(), 0.0) / static_cast<double>(delay.size());
+
+  std::vector<std::size_t> order(matrix.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(delay[a] - target) < std::abs(delay[b] - target);
+  });
+  order.resize(count);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace qp::sim

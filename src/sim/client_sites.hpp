@@ -1,0 +1,24 @@
+// Client-site selection matching §3's methodology: "we computed a set of 10
+// client locations for which the average network delay to the server
+// placement approximates the average network delay from all the nodes of
+// the graph to the server placement well."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "net/latency_matrix.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::sim {
+
+/// Chooses `count` sites whose uniform-strategy expected network delays to
+/// the placement bracket the all-sites average: sites are ranked by
+/// |Delta_v - avg_v Delta_v| and the closest `count` are returned (sorted by
+/// site index). Throws if count exceeds the site count.
+[[nodiscard]] std::vector<std::size_t> representative_client_sites(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const core::Placement& placement, std::size_t count);
+
+}  // namespace qp::sim

@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace qp::sim {
+
+void EventQueue::schedule(double time, Callback callback) {
+  if (time < now_) throw std::invalid_argument{"EventQueue: cannot schedule in the past"};
+  if (!callback) throw std::invalid_argument{"EventQueue: empty callback"};
+  events_.push(Event{time, next_sequence_++, std::move(callback)});
+}
+
+bool EventQueue::run_next() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the callback handle instead (std::function copy is cheap enough for
+  // the event rates this simulator runs at).
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.callback();
+  return true;
+}
+
+void EventQueue::run_until(double end_time) {
+  while (!events_.empty() && events_.top().time <= end_time) {
+    (void)run_next();
+  }
+  if (now_ < end_time) now_ = end_time;
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace qp::sim

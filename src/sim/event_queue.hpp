@@ -1,0 +1,54 @@
+// Minimal discrete-event simulation engine: a time-ordered queue of
+// callbacks with a monotone simulation clock. Events at equal times run in
+// scheduling (FIFO) order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace qp::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute simulation time `time` (>= now()).
+  void schedule(double time, Callback callback);
+
+  /// Pops and runs the earliest event; returns false when no events remain.
+  bool run_next();
+
+  /// Runs events with time <= end_time; the clock finishes at the time of
+  /// the last executed event (or end_time if nothing ran beyond it).
+  void run_until(double end_time);
+
+  /// Drains the queue completely.
+  void run_all();
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t sequence = 0;  // FIFO tie-break for simultaneous events.
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace qp::sim

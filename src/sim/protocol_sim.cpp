@@ -1,0 +1,234 @@
+#include "sim/protocol_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "core/strategy.hpp"
+#include "sim/event_queue.hpp"
+
+namespace qp::sim {
+
+namespace {
+
+struct Client {
+  std::size_t site = 0;
+  quorum::Quorum fixed_quorum;  // Used when the closest strategy is on.
+  // One outstanding request at a time (closed loop).
+  double request_start = 0.0;
+  double request_network_delay = 0.0;
+  std::size_t replies_pending = 0;
+  std::uint64_t attempt = 0;       // Tag to discard stale replies/timeouts.
+  std::size_t attempts_used = 0;   // Attempts spent on the current request.
+};
+
+class Simulator {
+ public:
+  Simulator(const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+            const core::Placement& placement, std::span<const std::size_t> client_sites,
+            const ProtocolSimConfig& config)
+      : matrix_(matrix),
+        system_(system),
+        placement_(placement),
+        config_(config),
+        rng_(config.seed),
+        next_free_(matrix.size(), 0.0),
+        busy_in_window_(matrix.size(), 0.0),
+        outages_by_site_(matrix.size()) {
+    placement_.validate(matrix_.size());
+    if (client_sites.empty()) throw std::invalid_argument{"protocol_sim: no client sites"};
+    if (config_.clients_per_site == 0) {
+      throw std::invalid_argument{"protocol_sim: clients_per_site must be >= 1"};
+    }
+    if (config_.service_time_ms < 0.0 || config_.duration_ms <= 0.0 ||
+        config_.warmup_ms < 0.0 || config_.per_message_cpu_ms < 0.0) {
+      throw std::invalid_argument{"protocol_sim: bad timing configuration"};
+    }
+    if (!config_.outages.empty() && config_.request_timeout_ms <= 0.0) {
+      throw std::invalid_argument{
+          "protocol_sim: outages require a positive request_timeout_ms"};
+    }
+    if (config_.max_attempts == 0) {
+      throw std::invalid_argument{"protocol_sim: max_attempts must be >= 1"};
+    }
+    for (const ServerOutage& outage : config_.outages) {
+      if (outage.site >= matrix_.size()) {
+        throw std::out_of_range{"protocol_sim: outage site out of range"};
+      }
+      if (!(outage.start_ms < outage.end_ms)) {
+        throw std::invalid_argument{"protocol_sim: outage window must be non-empty"};
+      }
+      outages_by_site_[outage.site].emplace_back(outage.start_ms, outage.end_ms);
+    }
+    end_of_issue_ = config_.warmup_ms + config_.duration_ms;
+    for (std::size_t site : client_sites) {
+      if (site >= matrix_.size()) throw std::out_of_range{"protocol_sim: client site"};
+      for (std::size_t c = 0; c < config_.clients_per_site; ++c) {
+        Client client;
+        client.site = site;
+        if (config_.use_closest_strategy) {
+          const std::vector<double> distances =
+              core::element_distances(matrix_, placement_, site);
+          client.fixed_quorum = system_.best_quorum(distances);
+        }
+        clients_.push_back(std::move(client));
+      }
+    }
+  }
+
+  ProtocolSimResult run() {
+    // Stagger client starts within the first millisecond so that perfectly
+    // synchronized arrivals do not create artificial convoys.
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      const double start = rng_.uniform() * 1.0;
+      queue_.schedule(start, [this, c] { issue(c); });
+    }
+    queue_.run_all();
+
+    ProtocolSimResult result;
+    result.response_stats = response_stats_;
+    result.network_stats = network_stats_;
+    result.completed_requests = response_stats_.count();
+    result.avg_response_ms = response_stats_.mean();
+    result.avg_network_delay_ms = network_stats_.mean();
+    result.throughput_rps =
+        static_cast<double>(result.completed_requests) / (config_.duration_ms / 1000.0);
+    result.failed_requests = failed_requests_;
+    result.total_retries = total_retries_;
+    result.dropped_messages = dropped_messages_;
+    const std::vector<std::size_t> support = placement_.support_set();
+    double busy_total = 0.0;
+    for (std::size_t site : support) busy_total += busy_in_window_[site];
+    result.avg_server_busy_fraction =
+        busy_total / (config_.duration_ms * static_cast<double>(support.size()));
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool site_down_at(std::size_t site, double time) const {
+    for (const auto& [start, end] : outages_by_site_[site]) {
+      if (time >= start && time < end) return true;
+    }
+    return false;
+  }
+
+  /// Begins a brand-new request for client c (closed loop).
+  void issue(std::size_t c) {
+    Client& client = clients_[c];
+    const double now = queue_.now();
+    if (now >= end_of_issue_) return;  // Measurement window over; stop this client.
+    client.request_start = now;
+    client.attempts_used = 0;
+    start_attempt(c, /*is_retry=*/false);
+  }
+
+  /// Sends one attempt of the current request to a quorum.
+  void start_attempt(std::size_t c, bool is_retry) {
+    Client& client = clients_[c];
+    const double now = queue_.now();
+    ++client.attempt;
+    ++client.attempts_used;
+
+    // Retries always draw a fresh random quorum: the fixed closest quorum
+    // may contain the very server whose outage caused the timeout.
+    const quorum::Quorum quorum =
+        (config_.use_closest_strategy && !is_retry) ? client.fixed_quorum
+                                                    : system_.sample_quorums(1, rng_)[0];
+    client.replies_pending = quorum.size();
+    const std::uint64_t attempt = client.attempt;
+    double max_rtt = 0.0;
+    for (std::size_t u : quorum) {
+      const std::size_t server_site = placement_.site_of[u];
+      const double rtt = matrix_.rtt(client.site, server_site);
+      max_rtt = std::max(max_rtt, rtt);
+      queue_.schedule(now + rtt / 2.0, [this, c, attempt, server_site, rtt] {
+        arrive(c, attempt, server_site, rtt);
+      });
+    }
+    if (!is_retry) client.request_network_delay = max_rtt;
+    if (config_.request_timeout_ms > 0.0) {
+      queue_.schedule(now + config_.request_timeout_ms,
+                      [this, c, attempt] { timeout(c, attempt); });
+    }
+  }
+
+  void arrive(std::size_t c, std::uint64_t attempt, std::size_t server_site, double rtt) {
+    const double now = queue_.now();
+    if (site_down_at(server_site, now)) {
+      ++dropped_messages_;
+      return;  // Crashed server: the message is lost; the client will time out.
+    }
+    const double start_service = std::max(next_free_[server_site], now);
+    const double depart =
+        start_service + config_.service_time_ms + config_.per_message_cpu_ms;
+    next_free_[server_site] = depart;
+    // Busy-time accounting clipped to the measurement window.
+    const double window_start = config_.warmup_ms;
+    const double window_end = end_of_issue_;
+    const double overlap =
+        std::max(0.0, std::min(depart, window_end) - std::max(start_service, window_start));
+    busy_in_window_[server_site] += overlap;
+    queue_.schedule(depart + rtt / 2.0, [this, c, attempt] { reply(c, attempt); });
+  }
+
+  void reply(std::size_t c, std::uint64_t attempt) {
+    Client& client = clients_[c];
+    if (attempt != client.attempt) return;  // Reply for an abandoned attempt.
+    if (client.replies_pending == 0) {
+      throw std::logic_error{"protocol_sim: reply without outstanding request"};
+    }
+    if (--client.replies_pending > 0) return;
+    const double now = queue_.now();
+    // Count requests issued inside the measurement window.
+    if (client.request_start >= config_.warmup_ms && client.request_start < end_of_issue_) {
+      response_stats_.add(now - client.request_start);
+      network_stats_.add(client.request_network_delay);
+    }
+    issue(c);
+  }
+
+  void timeout(std::size_t c, std::uint64_t attempt) {
+    Client& client = clients_[c];
+    if (attempt != client.attempt) return;  // The attempt already completed.
+    if (client.replies_pending == 0) return;
+    if (client.attempts_used >= config_.max_attempts) {
+      ++failed_requests_;
+      issue(c);  // Give up on this request; move on.
+      return;
+    }
+    ++total_retries_;
+    start_attempt(c, /*is_retry=*/true);
+  }
+
+  const net::LatencyMatrix& matrix_;
+  const quorum::QuorumSystem& system_;
+  const core::Placement& placement_;
+  ProtocolSimConfig config_;
+  common::Rng rng_;
+
+  EventQueue queue_;
+  std::vector<Client> clients_;
+  std::vector<double> next_free_;
+  std::vector<double> busy_in_window_;
+  std::vector<std::vector<std::pair<double, double>>> outages_by_site_;
+  common::RunningStats response_stats_;
+  common::RunningStats network_stats_;
+  double end_of_issue_ = 0.0;
+  std::size_t failed_requests_ = 0;
+  std::size_t total_retries_ = 0;
+  std::size_t dropped_messages_ = 0;
+};
+
+}  // namespace
+
+ProtocolSimResult run_protocol_sim(const net::LatencyMatrix& matrix,
+                                   const quorum::QuorumSystem& system,
+                                   const core::Placement& placement,
+                                   std::span<const std::size_t> client_sites,
+                                   const ProtocolSimConfig& config) {
+  Simulator simulator{matrix, system, placement, client_sites, config};
+  return simulator.run();
+}
+
+}  // namespace qp::sim

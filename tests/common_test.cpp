@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/combinatorics.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace qp::common {
+namespace {
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestoresStream) {
+  Rng rng{7};
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng.next());
+  rng.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next(), first[i]);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{9};
+  Rng child = parent.fork(1);
+  // The child must not replay the parent's stream.
+  Rng parent_again{9};
+  EXPECT_NE(child.next(), parent_again.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng{13};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAll) {
+  Rng rng{17};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng{1};
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng{19};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW((void)rng.between(3, 1), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{23};
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng{29};
+  RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.exponential(3.0);
+    EXPECT_GT(x, 0.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng{31};
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.lognormal(0.0, 0.5));
+  // Median of lognormal(0, sigma) is exp(0) = 1.
+  EXPECT_NEAR(percentile(xs, 50.0), 1.0, 0.05);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng{37};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 8);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (std::size_t v : sample) EXPECT_LT(v, 20u);
+  }
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  Rng rng{41};
+  std::vector<int> hits(10, 0);
+  const int trials = 50'000;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (std::size_t v : rng.sample_without_replacement(10, 3)) hits[v] += 1;
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng{43};
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> hits(3, 0);
+  const int trials = 40'000;
+  for (int trial = 0; trial < trials; ++trial) hits[rng.weighted_index(weights)] += 1;
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[0]) / trials, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / trials, 0.75, 0.02);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{47};
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng{53};
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Stats, MeanAndPercentile) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, Correlation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(xs, zs), -1.0, 1e-12);
+  const std::vector<double> constant{5.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(correlation(xs, constant), 0.0);
+  EXPECT_THROW((void)correlation(xs, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+// --------------------------------------------------------- Combinatorics
+
+TEST(Combinatorics, ExactSmallValues) {
+  EXPECT_EQ(binomial_exact(5, 2), 10u);
+  EXPECT_EQ(binomial_exact(10, 0), 1u);
+  EXPECT_EQ(binomial_exact(10, 10), 1u);
+  EXPECT_EQ(binomial_exact(10, 11), 0u);
+  EXPECT_EQ(binomial_exact(52, 5), 2'598'960u);
+}
+
+TEST(Combinatorics, DoubleMatchesExact) {
+  for (std::size_t n = 0; n <= 30; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(binomial(n, k), static_cast<double>(binomial_exact(n, k)),
+                  1e-6 * static_cast<double>(binomial_exact(n, k)) + 1e-9)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Combinatorics, LogBinomialHandlesHugeArguments) {
+  // C(161, 80) overflows doubles in linear space but not in log space.
+  const double log_value = log_binomial(161, 80);
+  EXPECT_TRUE(std::isfinite(log_value));
+  EXPECT_GT(log_value, 100.0);
+  EXPECT_EQ(log_binomial(5, 6), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Combinatorics, BinomialRatioStable) {
+  // C(100, 10) / C(200, 10) computed stably.
+  const double ratio = binomial_ratio(100, 200, 10);
+  const double expected = binomial(100, 10) / binomial(200, 10);
+  EXPECT_NEAR(ratio, expected, 1e-12);
+  EXPECT_EQ(binomial_ratio(5, 10, 6), 0.0);
+}
+
+TEST(Combinatorics, AllSubsetsEnumeration) {
+  const auto subsets = all_subsets(5, 3);
+  EXPECT_EQ(subsets.size(), 10u);
+  // Lexicographic order, all distinct, all sorted.
+  std::set<std::vector<std::size_t>> unique(subsets.begin(), subsets.end());
+  EXPECT_EQ(unique.size(), subsets.size());
+  for (const auto& s : subsets) {
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(s.size(), 3u);
+  }
+  EXPECT_EQ(subsets.front(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(subsets.back(), (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(Combinatorics, AllSubsetsEdgeCases) {
+  EXPECT_EQ(all_subsets(4, 0).size(), 1u);  // The empty subset.
+  EXPECT_EQ(all_subsets(4, 4).size(), 1u);
+  EXPECT_TRUE(all_subsets(3, 4).empty());
+  EXPECT_THROW((void)all_subsets(100, 50), std::invalid_argument);
+}
+
+TEST(Combinatorics, SplitMixIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t replay = 0;
+  EXPECT_EQ(splitmix64(replay), first);
+}
+
+}  // namespace
+}  // namespace qp::common

@@ -1,0 +1,138 @@
+// Cross-module scenarios that don't belong to a single unit: non-Grid
+// systems through the LP/iterative pipeline, simulator-vs-model agreement,
+// and Waxman-graph-driven end-to-end runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "net/matrix_io.hpp"
+#include "quorum/grid.hpp"
+
+#include "core/capacity.hpp"
+#include "core/iterative.hpp"
+#include "core/manytoone.hpp"
+#include "core/placement.hpp"
+#include "core/response.hpp"
+#include "core/strategy.hpp"
+#include "net/random_graphs.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/fpp.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/tree.hpp"
+#include "sim/client_sites.hpp"
+#include "sim/protocol_sim.hpp"
+
+namespace qp {
+namespace {
+
+TEST(CrossModule, IterativeAlgorithmWorksForMajorities) {
+  // §4.2's pipeline is system-agnostic as long as quorums enumerate.
+  const net::LatencyMatrix m = net::small_synth(10, 91);
+  const quorum::MajorityQuorum majority{5, 3};
+  core::IterativeOptions options;
+  options.anchor_candidates = {0, 1, 2, 3};
+  const auto caps = core::uniform_capacities(m.size(), 0.9);
+  const core::IterativeResult result =
+      core::iterative_placement(m, majority, caps, /*alpha=*/0.0, options);
+  result.placement.validate(m.size());
+  result.strategy.validate(m.size(), 5);
+  EXPECT_GT(result.avg_response, 0.0);
+}
+
+TEST(CrossModule, ManyToOneWorksForTreeQuorums) {
+  const net::LatencyMatrix m = net::small_synth(10, 93);
+  const quorum::TreeQuorum tree{1};  // 3 elements, 3 quorums.
+  const std::vector<double> probs(3, 1.0 / 3.0);
+  const auto caps = core::uniform_capacities(m.size(), 1.0);
+  const auto result = core::many_to_one_placement(m, tree, probs, caps, 2);
+  ASSERT_EQ(result.status, lp::SolveStatus::Optimal);
+  result.placement.validate(m.size());
+}
+
+TEST(CrossModule, StrategyLpWorksForFpp) {
+  const net::LatencyMatrix m = net::small_synth(12, 95);
+  const quorum::FppQuorum plane{2};  // Fano: 7 elements, 7 lines of 3.
+  const core::PlacementSearchResult placed = core::best_placement(
+      m, plane, [&](std::size_t v0) { return core::majority_ball_placement(m, 7, v0); });
+  const auto caps = core::uniform_capacities(m.size(), 0.8);
+  const auto lp = core::optimize_access_strategy(m, plane, placed.placement, caps);
+  ASSERT_EQ(lp.status, lp::SolveStatus::Optimal);
+  const auto loads = core::site_loads_explicit(lp.strategy, placed.placement, m.size());
+  for (double load : loads) EXPECT_LE(load, 0.8 + 1e-6);
+}
+
+TEST(CrossModule, SimulatorAgreesWithAnalyticModelWhenUnloaded) {
+  // At negligible load, the DES's mean response under uniform quorum draws
+  // must match the analytic balanced network delay (restricted to the
+  // client sites) plus one service time.
+  const net::LatencyMatrix m = net::small_synth(14, 97);
+  const quorum::MajorityQuorum system{6, 5};
+  const core::Placement placement = core::best_majority_placement(m, system).placement;
+  const std::vector<std::size_t> clients =
+      sim::representative_client_sites(m, system, placement, 3);
+
+  sim::ProtocolSimConfig config;
+  config.duration_ms = 30'000.0;
+  config.warmup_ms = 2'000.0;
+  config.seed = 17;
+  const auto sim_result = sim::run_protocol_sim(m, system, placement, clients, config);
+
+  double analytic = 0.0;
+  for (std::size_t v : clients) {
+    const auto values = core::element_distances(m, placement, v);
+    analytic += system.expected_max_uniform(values);
+  }
+  analytic /= static_cast<double>(clients.size());
+  EXPECT_NEAR(sim_result.avg_response_ms, analytic + config.service_time_ms,
+              0.05 * analytic + 1.0);
+  EXPECT_NEAR(sim_result.avg_network_delay_ms, analytic, 0.05 * analytic + 0.5);
+}
+
+TEST(CrossModule, WaxmanGraphFullPipelineWithLpStrategies) {
+  const net::Graph g = net::waxman_graph({.node_count = 20, .seed = 5});
+  const net::LatencyMatrix m = net::LatencyMatrix::from_graph(g);
+  const quorum::GridQuorum grid{3};
+  const auto placed = core::best_grid_placement(m, 3);
+  const auto caps = core::uniform_capacities(m.size(), grid.optimal_load() * 1.5);
+  const auto lp = core::optimize_access_strategy(m, grid, placed.placement, caps);
+  ASSERT_EQ(lp.status, lp::SolveStatus::Optimal);
+  const auto eval =
+      core::evaluate_explicit(m, grid, placed.placement, 50.0, lp.strategy);
+  EXPECT_GT(eval.avg_response_ms, eval.avg_network_delay_ms);
+}
+
+TEST(CrossModule, CollapsedModelThroughTheIterativePipeline) {
+  // Evaluate an iterative (colocating) placement under both execution
+  // models: collapsed can only help.
+  const net::LatencyMatrix m = net::small_synth(12, 99);
+  const quorum::GridQuorum grid{2};
+  core::IterativeOptions options;
+  options.anchor_candidates = {0, 1, 2, 3, 4, 5};
+  const auto caps = core::uniform_capacities(m.size(), 1.0);
+  const auto iterative = core::iterative_placement(m, grid, caps, 0.0, options);
+  const double alpha = core::kQuWriteServiceMs * 16'000;
+  const auto per_element =
+      core::evaluate_explicit(m, grid, iterative.placement, alpha, iterative.strategy,
+                              core::ExecutionModel::PerElement);
+  const auto collapsed =
+      core::evaluate_explicit(m, grid, iterative.placement, alpha, iterative.strategy,
+                              core::ExecutionModel::Collapsed);
+  EXPECT_LE(collapsed.avg_response_ms, per_element.avg_response_ms + 1e-9);
+}
+
+TEST(CrossModule, MatrixRoundTripPreservesExperimentResults) {
+  // Serializing a topology and reloading it must not change any measurement.
+  const net::LatencyMatrix original = net::small_synth(10, 101);
+  std::stringstream buffer;
+  net::write_matrix(buffer, original);
+  const net::LatencyMatrix reloaded = net::read_matrix(buffer);
+  const quorum::GridQuorum grid{2};
+  const auto placed_a = core::best_grid_placement(original, 2);
+  const auto placed_b = core::best_grid_placement(reloaded, 2);
+  EXPECT_EQ(placed_a.placement.site_of, placed_b.placement.site_of);
+  EXPECT_NEAR(placed_a.avg_network_delay, placed_b.avg_network_delay, 1e-9);
+}
+
+}  // namespace
+}  // namespace qp

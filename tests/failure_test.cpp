@@ -1,0 +1,152 @@
+// Failure-injection tests for the protocol simulator: server outages drop
+// messages, clients time out and retry on fresh quorums, and the system
+// keeps serving thanks to the quorum intersection property.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/majority.hpp"
+#include "sim/client_sites.hpp"
+#include "sim/protocol_sim.hpp"
+
+namespace qp::sim {
+namespace {
+
+struct Fixture {
+  net::LatencyMatrix matrix = net::small_synth(14, 77);
+  quorum::MajorityQuorum system{5, 3};
+  core::Placement placement = core::best_majority_placement(matrix, system).placement;
+  std::vector<std::size_t> clients =
+      representative_client_sites(matrix, system, placement, 4);
+};
+
+ProtocolSimConfig base_config() {
+  ProtocolSimConfig config;
+  config.duration_ms = 4000.0;
+  config.warmup_ms = 500.0;
+  config.seed = 5;
+  config.request_timeout_ms = 600.0;
+  return config;
+}
+
+TEST(FailureInjection, NoOutagesMeansNoRetriesOrDrops) {
+  const Fixture f;
+  const auto result =
+      run_protocol_sim(f.matrix, f.system, f.placement, f.clients, base_config());
+  EXPECT_EQ(result.failed_requests, 0u);
+  EXPECT_EQ(result.total_retries, 0u);
+  EXPECT_EQ(result.dropped_messages, 0u);
+  EXPECT_GT(result.completed_requests, 0u);
+}
+
+TEST(FailureInjection, OutageDropsMessagesAndTriggersRetries) {
+  const Fixture f;
+  ProtocolSimConfig config = base_config();
+  // Take one server site down for a chunk of the measured window.
+  const std::size_t victim = f.placement.site_of[0];
+  config.outages = {{victim, 1000.0, 2500.0}};
+  const auto result = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  EXPECT_GT(result.dropped_messages, 0u);
+  EXPECT_GT(result.total_retries, 0u);
+  // Quorum intersection lets retries route around the dead server: the
+  // system keeps completing requests.
+  EXPECT_GT(result.completed_requests, 50u);
+}
+
+TEST(FailureInjection, OutageInflatesTailResponseTime) {
+  const Fixture f;
+  ProtocolSimConfig config = base_config();
+  const auto healthy =
+      run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  config.outages = {{f.placement.site_of[0], 1000.0, 2500.0}};
+  const auto degraded =
+      run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  // Timeouts (600 ms) dominate the affected requests' latency.
+  EXPECT_GT(degraded.response_stats.max(), healthy.response_stats.max());
+  EXPECT_GT(degraded.avg_response_ms, healthy.avg_response_ms);
+}
+
+TEST(FailureInjection, TotalOutageExhaustsAttempts) {
+  const Fixture f;
+  ProtocolSimConfig config = base_config();
+  config.max_attempts = 2;
+  // Majority(3/5) requires 3 of 5 servers; kill 3 for the entire run.
+  config.outages = {{f.placement.site_of[0], 0.0, 10'000.0},
+                    {f.placement.site_of[1], 0.0, 10'000.0},
+                    {f.placement.site_of[2], 0.0, 10'000.0}};
+  const auto result = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  // Every quorum intersects the dead set, so nothing can complete.
+  EXPECT_EQ(result.completed_requests, 0u);
+  EXPECT_GT(result.failed_requests, 0u);
+}
+
+TEST(FailureInjection, MinorityOutageOfTwoServersStillServes) {
+  const Fixture f;
+  ProtocolSimConfig config = base_config();
+  // 2 of 5 down for the whole run: only 1 of the 10 possible quorums is
+  // fully alive, so blind uniform retries need many attempts (expected 10)
+  // before hitting it. Give them room: short timeout, long window, more
+  // clients, generous attempt budget.
+  config.duration_ms = 12'000.0;
+  config.request_timeout_ms = 250.0;
+  config.clients_per_site = 3;
+  config.max_attempts = 60;
+  config.outages = {{f.placement.site_of[0], 0.0, 60'000.0},
+                    {f.placement.site_of[1], 0.0, 60'000.0}};
+  const auto result = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  EXPECT_GT(result.completed_requests, 0u);
+  EXPECT_GT(result.total_retries, result.completed_requests);
+}
+
+TEST(FailureInjection, RecoveryRestoresThroughput) {
+  const Fixture f;
+  ProtocolSimConfig config = base_config();
+  config.duration_ms = 6000.0;
+  // Outage confined to the warmup: the measured window sees a healthy system.
+  config.outages = {{f.placement.site_of[0], 0.0, 400.0}};
+  const auto early_outage =
+      run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  ProtocolSimConfig clean = config;
+  clean.outages.clear();
+  const auto healthy = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, clean);
+  EXPECT_NEAR(early_outage.avg_response_ms, healthy.avg_response_ms,
+              0.25 * healthy.avg_response_ms);
+}
+
+TEST(FailureInjection, ConfigValidation) {
+  const Fixture f;
+  ProtocolSimConfig config = base_config();
+  config.request_timeout_ms = 0.0;
+  config.outages = {{0, 1.0, 2.0}};
+  EXPECT_THROW((void)run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config),
+               std::invalid_argument);
+  config = base_config();
+  config.outages = {{999, 1.0, 2.0}};
+  EXPECT_THROW((void)run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config),
+               std::out_of_range);
+  config = base_config();
+  config.outages = {{0, 5.0, 5.0}};  // Empty window.
+  EXPECT_THROW((void)run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config),
+               std::invalid_argument);
+  config = base_config();
+  config.max_attempts = 0;
+  EXPECT_THROW((void)run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, DeterministicUnderFailures) {
+  const Fixture f;
+  ProtocolSimConfig config = base_config();
+  config.outages = {{f.placement.site_of[1], 800.0, 2000.0}};
+  const auto a = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  const auto b = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages);
+  EXPECT_DOUBLE_EQ(a.avg_response_ms, b.avg_response_ms);
+}
+
+}  // namespace
+}  // namespace qp::sim

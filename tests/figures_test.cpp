@@ -1,0 +1,138 @@
+// Unit tests for the eval drivers themselves (configuration handling,
+// row bookkeeping, helper behavior) — the figure *shapes* are asserted in
+// integration_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "eval/figures.hpp"
+#include "eval/sweeps.hpp"
+#include "net/synthetic.hpp"
+
+namespace qp::eval {
+namespace {
+
+const net::LatencyMatrix& topo12() {
+  static const net::LatencyMatrix m = net::small_synth(12, 2024);
+  return m;
+}
+
+TEST(Figures, CentralSitesSortedByAverageRtt) {
+  const auto sites = central_sites(topo12(), 5);
+  ASSERT_EQ(sites.size(), 5u);
+  // Every returned site has average RTT no larger than every excluded site.
+  std::set<std::size_t> chosen(sites.begin(), sites.end());
+  double worst_chosen = 0.0;
+  for (std::size_t s : sites) worst_chosen = std::max(worst_chosen, topo12().average_rtt_from(s));
+  for (std::size_t s = 0; s < topo12().size(); ++s) {
+    if (!chosen.count(s)) {
+      EXPECT_GE(topo12().average_rtt_from(s) + 1e-12, worst_chosen);
+    }
+  }
+  // Count is clamped to the topology size.
+  EXPECT_EQ(central_sites(topo12(), 99).size(), topo12().size());
+}
+
+TEST(Figures, GridDemandSweepRespectsMaxSide) {
+  const std::vector<double> demands{1000.0};
+  const auto points = grid_demand_sweep(topo12(), demands, 2);
+  for (const auto& p : points) EXPECT_EQ(p.universe, 4u);
+  // Two strategies per (universe, demand) pair.
+  EXPECT_EQ(points.size(), 2u);
+}
+
+TEST(Figures, GridDemandSweepAutoSide) {
+  const std::vector<double> demands{1000.0};
+  const auto points = grid_demand_sweep(topo12(), demands, 0);
+  std::set<std::size_t> universes;
+  for (const auto& p : points) universes.insert(p.universe);
+  // 12 sites: k = 2 and k = 3 fit.
+  EXPECT_EQ(universes, (std::set<std::size_t>{4, 9}));
+}
+
+TEST(Figures, CapacitySweepRowCountAndFlags) {
+  CapacitySweepConfig config;
+  config.min_side = 2;
+  config.max_side = 3;
+  config.levels = 4;
+  config.include_nonuniform = true;
+  const auto points = capacity_sweep(topo12(), config);
+  // 2 sides x 4 levels x 2 variants.
+  EXPECT_EQ(points.size(), 16u);
+  std::size_t nonuniform = 0;
+  for (const auto& p : points) nonuniform += p.nonuniform;
+  EXPECT_EQ(nonuniform, 8u);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.feasible);
+    EXPECT_GT(p.response_ms, 0.0);
+    EXPECT_GE(p.response_ms + 1e-9, p.network_delay_ms);
+  }
+}
+
+TEST(Figures, QuSweepSkipsOversizedUniverses) {
+  QuSweepConfig config;
+  config.t_values = {1, 2, 3};  // t=3 needs n=16 > 12 sites: skipped.
+  config.client_counts = {4};
+  config.client_site_count = 4;
+  config.duration_ms = 500.0;
+  config.warmup_ms = 100.0;
+  const auto points = qu_response_surface(topo12(), config);
+  EXPECT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.universe, 5 * p.t + 1);
+    EXPECT_GT(p.throughput_rps, 0.0);
+  }
+}
+
+TEST(Figures, QuSweepClientRoundingIsConsistent) {
+  QuSweepConfig config;
+  config.t_values = {1};
+  config.client_counts = {6};  // 6 / 4 sites -> 1 per site -> 4 clients.
+  config.client_site_count = 4;
+  config.duration_ms = 500.0;
+  config.warmup_ms = 100.0;
+  const auto points = qu_response_surface(topo12(), config);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].clients, 4u);
+}
+
+TEST(Figures, IterativeSweepStageRows) {
+  IterativeSweepConfig config;
+  config.side = 2;
+  config.levels = 2;
+  config.anchor_count = 4;
+  const auto points = iterative_sweep(topo12(), config);
+  // Every capacity level emits a one-to-one row plus phase rows.
+  EXPECT_EQ(rows_for_stage(points, "one-to-one").size(), 2u);
+  EXPECT_EQ(rows_for_stage(points, "iter1-phase1").size(), 2u);
+  EXPECT_EQ(rows_for_stage(points, "iter1-phase2").size(), 2u);
+  EXPECT_TRUE(rows_for_stage(points, "bogus").empty());
+  // One-to-one rows are identical across levels (the baseline ignores caps).
+  const auto baseline = rows_for_stage(points, "one-to-one");
+  EXPECT_DOUBLE_EQ(baseline[0].network_delay_ms, baseline[1].network_delay_ms);
+}
+
+TEST(Figures, IterativeSweepRejectsOversizedGrid) {
+  IterativeSweepConfig config;
+  config.side = 4;  // 16 > 12 sites.
+  EXPECT_THROW((void)iterative_sweep(topo12(), config), std::invalid_argument);
+}
+
+TEST(Figures, CsvEscapesNothingButIsParseable) {
+  std::ostringstream out;
+  print_csv(out, std::vector<GridDemandPoint>{{9, 1000.0, "closest", 12.5, 10.0}});
+  EXPECT_EQ(out.str(),
+            "universe,client_demand,strategy,response_ms,network_delay_ms\n"
+            "9,1000,closest,12.5,10\n");
+  std::ostringstream out2;
+  print_csv(out2, std::vector<QuPoint>{{1, 6, 40, 90.0, 95.0, 400.0}});
+  EXPECT_NE(out2.str().find("1,6,40,90,95,400"), std::string::npos);
+  std::ostringstream out3;
+  print_csv(out3, std::vector<CapacityPoint>{{9, 0.5, true, 100.0, 90.0, true}});
+  EXPECT_NE(out3.str().find("9,0.5,1,1,100,90"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qp::eval

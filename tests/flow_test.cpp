@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flow/assignment.hpp"
+#include "flow/mincost_flow.hpp"
+
+namespace qp::flow {
+namespace {
+
+TEST(MinCostFlow, SimplePath) {
+  MinCostFlow net{3};
+  const auto e1 = net.add_edge(0, 1, 5.0, 2.0);
+  const auto e2 = net.add_edge(1, 2, 3.0, 1.0);
+  const auto result = net.solve(0, 2);
+  EXPECT_DOUBLE_EQ(result.flow, 3.0);
+  EXPECT_DOUBLE_EQ(result.cost, 9.0);
+  EXPECT_DOUBLE_EQ(net.flow_on(e1), 3.0);
+  EXPECT_DOUBLE_EQ(net.flow_on(e2), 3.0);
+}
+
+TEST(MinCostFlow, PrefersCheaperParallelRoute) {
+  MinCostFlow net{4};
+  const auto cheap1 = net.add_edge(0, 1, 2.0, 1.0);
+  const auto cheap2 = net.add_edge(1, 3, 2.0, 1.0);
+  const auto expensive = net.add_edge(0, 3, 10.0, 10.0);
+  (void)net.add_edge(0, 2, 10.0, 3.0);
+  (void)net.add_edge(2, 3, 10.0, 3.0);
+  const auto result = net.solve(0, 3, 4.0);
+  EXPECT_DOUBLE_EQ(result.flow, 4.0);
+  // 2 units via the 1+1 route, 2 via the 3+3 route; the cost-10 edge unused.
+  EXPECT_DOUBLE_EQ(result.cost, 2.0 * 2.0 + 2.0 * 6.0);
+  EXPECT_DOUBLE_EQ(net.flow_on(cheap1), 2.0);
+  EXPECT_DOUBLE_EQ(net.flow_on(cheap2), 2.0);
+  EXPECT_DOUBLE_EQ(net.flow_on(expensive), 0.0);
+}
+
+TEST(MinCostFlow, RespectsMaxFlowCap) {
+  MinCostFlow net{2};
+  (void)net.add_edge(0, 1, 100.0, 1.0);
+  const auto result = net.solve(0, 1, 7.5);
+  EXPECT_DOUBLE_EQ(result.flow, 7.5);
+  EXPECT_DOUBLE_EQ(result.cost, 7.5);
+}
+
+TEST(MinCostFlow, HandlesNegativeCosts) {
+  // Negative edge on the cheap route; Bellman-Ford potentials handle it.
+  MinCostFlow net{3};
+  const auto neg = net.add_edge(0, 1, 1.0, -5.0);
+  (void)net.add_edge(1, 2, 1.0, 1.0);
+  (void)net.add_edge(0, 2, 1.0, 0.5);
+  const auto result = net.solve(0, 2);
+  EXPECT_DOUBLE_EQ(result.flow, 2.0);
+  EXPECT_DOUBLE_EQ(result.cost, -4.0 + 0.5);
+  EXPECT_DOUBLE_EQ(net.flow_on(neg), 1.0);
+}
+
+TEST(MinCostFlow, DisconnectedSinkGivesZeroFlow) {
+  MinCostFlow net{3};
+  (void)net.add_edge(0, 1, 1.0, 1.0);
+  const auto result = net.solve(0, 2);
+  EXPECT_DOUBLE_EQ(result.flow, 0.0);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+TEST(MinCostFlow, ApiMisuse) {
+  MinCostFlow net{2};
+  EXPECT_THROW((void)net.add_edge(0, 5, 1.0, 1.0), std::out_of_range);
+  EXPECT_THROW((void)net.add_edge(0, 1, -1.0, 1.0), std::invalid_argument);
+  (void)net.add_edge(0, 1, 1.0, 1.0);
+  EXPECT_THROW((void)net.solve(0, 0), std::invalid_argument);
+  (void)net.solve(0, 1);
+  EXPECT_THROW((void)net.solve(0, 1), std::logic_error);
+  EXPECT_THROW((void)net.flow_on(99), std::out_of_range);
+}
+
+// ------------------------------------------------------------- Assignment
+
+TEST(Assignment, PicksMinimumCostPerfectMatching) {
+  // 3 items, 3 unit slots, complete cost matrix.
+  const std::vector<std::size_t> caps{1, 1, 1};
+  std::vector<AssignmentEdge> edges;
+  const double cost[3][3] = {{4.0, 1.0, 3.0}, {2.0, 0.0, 5.0}, {3.0, 2.0, 2.0}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t s = 0; s < 3; ++s) edges.push_back({i, s, cost[i][s]});
+  }
+  const auto result = min_cost_assignment(3, caps, edges);
+  ASSERT_TRUE(result.has_value());
+  // Hungarian optimum: item0->slot1 (1), item1->slot0 (2), item2->slot2 (2).
+  EXPECT_DOUBLE_EQ(result->total_cost, 5.0);
+  EXPECT_EQ(result->slot_of[0], 1u);
+  EXPECT_EQ(result->slot_of[1], 0u);
+  EXPECT_EQ(result->slot_of[2], 2u);
+}
+
+TEST(Assignment, SlotCapacityAboveOne) {
+  const std::vector<std::size_t> caps{2, 1};
+  std::vector<AssignmentEdge> edges{{0, 0, 1.0}, {1, 0, 1.0}, {2, 0, 1.0},
+                                    {0, 1, 0.5}, {1, 1, 0.5}, {2, 1, 0.5}};
+  const auto result = min_cost_assignment(3, caps, edges);
+  ASSERT_TRUE(result.has_value());
+  // One item on the cheap slot, two on the big slot.
+  int on_slot0 = 0;
+  for (std::size_t s : result->slot_of) on_slot0 += (s == 0);
+  EXPECT_EQ(on_slot0, 2);
+  EXPECT_DOUBLE_EQ(result->total_cost, 2.5);
+}
+
+TEST(Assignment, InfeasibleWhenCapacityShort) {
+  const std::vector<std::size_t> caps{1};
+  const std::vector<AssignmentEdge> edges{{0, 0, 1.0}, {1, 0, 1.0}};
+  EXPECT_FALSE(min_cost_assignment(2, caps, edges).has_value());
+}
+
+TEST(Assignment, InfeasibleWhenItemHasNoEdges) {
+  const std::vector<std::size_t> caps{5, 5};
+  const std::vector<AssignmentEdge> edges{{0, 0, 1.0}};  // Item 1 has none.
+  EXPECT_FALSE(min_cost_assignment(2, caps, edges).has_value());
+}
+
+TEST(Assignment, RejectsBadEdgeIndices) {
+  const std::vector<std::size_t> caps{1};
+  EXPECT_THROW((void)min_cost_assignment(1, caps, {{0, 7, 1.0}}), std::out_of_range);
+  EXPECT_THROW((void)min_cost_assignment(1, caps, {{7, 0, 1.0}}), std::out_of_range);
+}
+
+// Property sweep: random instances cross-checked against brute force.
+class AssignmentSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AssignmentSweep, MatchesBruteForce) {
+  common::Rng rng{GetParam()};
+  const std::size_t items = 2 + rng.below(4);   // 2..5
+  const std::size_t slots = items + rng.below(2);
+  std::vector<std::size_t> caps(slots, 1);
+  std::vector<std::vector<double>> cost(items, std::vector<double>(slots));
+  std::vector<AssignmentEdge> edges;
+  for (std::size_t i = 0; i < items; ++i) {
+    for (std::size_t s = 0; s < slots; ++s) {
+      cost[i][s] = rng.uniform(0.0, 10.0);
+      edges.push_back({i, s, cost[i][s]});
+    }
+  }
+  const auto result = min_cost_assignment(items, caps, edges);
+  ASSERT_TRUE(result.has_value());
+
+  // Brute force over all injective assignments.
+  std::vector<std::size_t> perm(slots);
+  for (std::size_t s = 0; s < slots; ++s) perm[s] = s;
+  double best = 1e300;
+  std::sort(perm.begin(), perm.end());
+  do {
+    double total = 0.0;
+    for (std::size_t i = 0; i < items; ++i) total += cost[i][perm[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(result->total_cost, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+}  // namespace
+}  // namespace qp::flow

