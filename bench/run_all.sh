@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Build a Release+LTO tree and run every figure benchmark, writing one
+# BENCH_<name>.json (google-benchmark JSON) plus the figure's CSV series
+# per binary.  Seeds the perf trajectory the ROADMAP north-star tracks.
+#
+# Usage:  bench/run_all.sh [output-dir]
+#   BUILD_DIR=...  override the build tree (default: build/release)
+#   FILTER=regex   only run benchmarks whose name matches the regex
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT_DIR="${1:-${ROOT}/bench/results}"
+BUILD_DIR="${BUILD_DIR:-${ROOT}/build/release}"
+FILTER="${FILTER:-}"
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON
+fi
+if grep -q '^benchmark_DIR:PATH=.*-NOTFOUND' "${BUILD_DIR}/CMakeCache.txt"; then
+  echo "error: google-benchmark not available; bench targets were not configured" >&2
+  exit 1
+fi
+if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' "${BUILD_DIR}/CMakeCache.txt"; then
+  echo "error: ${BUILD_DIR} is not a Release tree; refusing to record perf numbers" >&2
+  echo "       (point BUILD_DIR at a Release build or remove it to reconfigure)" >&2
+  exit 1
+fi
+cmake --build "${BUILD_DIR}" --target bench_all -j "$(nproc)"
+
+mkdir -p "${OUT_DIR}"
+
+benches=("${BUILD_DIR}"/bench/*)
+ran=0
+for bin in "${benches[@]}"; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  if [[ -n "${FILTER}" && ! "${name}" =~ ${FILTER} ]]; then
+    continue
+  fi
+  echo "== ${name}"
+  # stdout is the figure's CSV series followed by google-benchmark's console
+  # table (which starts at a dashed separator); keep only the CSV part.
+  "${bin}" \
+    --benchmark_out="${OUT_DIR}/BENCH_${name}.json" \
+    --benchmark_out_format=json \
+    | awk '/^----/{table=1} !table {print}' > "${OUT_DIR}/${name}.csv"
+  ran=$((ran + 1))
+done
+
+if [[ "${ran}" -eq 0 ]]; then
+  echo "error: no benchmark binaries found under ${BUILD_DIR}/bench" >&2
+  exit 1
+fi
+
+echo "Wrote ${ran} BENCH_*.json files to ${OUT_DIR}"
