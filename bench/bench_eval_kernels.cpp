@@ -1,0 +1,162 @@
+// Evaluation-kernel benchmark: quantifies the three layers of the
+// allocation-free evaluation subsystem on the paper's n=49 configurations
+// (Grid 7x7 and Majority 25/49) over a 200-client topology:
+//   * naive objective        — the seed code path: per-client allocation +
+//                              copy + sort (+ lgamma-based CDF before the
+//                              weight cache) per evaluation;
+//   * workspace objective    — flat reusable buffers + cached order-stat
+//                              weights (average_uniform_network_delay_ws);
+//   * delta candidate        — DeltaEvaluator::objective_if_moved, O(log n)
+//                              or O(k) per client instead of a full rebuild;
+//   * local search           — naive vs delta engines end-to-end, plus the
+//                              parallel neighborhood scan.
+// The headline counter is speedup_vs_naive for delta local search, which the
+// acceptance criteria pin at >= 5x.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/delta_eval.hpp"
+#include "core/eval_workspace.hpp"
+#include "core/local_search.hpp"
+#include "core/placement.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+
+namespace {
+
+using namespace qp;
+
+/// The seed's objective implementation: public allocating kernels per client.
+double naive_objective(const net::LatencyMatrix& matrix,
+                       const quorum::QuorumSystem& system,
+                       const core::Placement& placement) {
+  double total = 0.0;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    const std::vector<double> values = core::element_distances(matrix, placement, v);
+    total += system.expected_max_uniform(values);
+  }
+  return total / static_cast<double>(matrix.size());
+}
+
+struct Config {
+  std::string label;
+  const quorum::QuorumSystem* system;
+  core::Placement placement;
+};
+
+double time_local_search_ms(const net::LatencyMatrix& matrix,
+                            const quorum::QuorumSystem& system,
+                            const core::Placement& initial,
+                            const core::LocalSearchOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const core::LocalSearchResult result =
+      core::local_search_placement(matrix, system, initial, options);
+  benchmark::DoNotOptimize(result.objective);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const net::LatencyMatrix matrix = net::small_synth(200, 2007);
+  const quorum::GridQuorum grid{7};
+  const quorum::MajorityQuorum majority{49, 25};
+
+  common::Rng rng{2007};
+  std::vector<Config> configs;
+  configs.push_back(Config{"grid49", &grid,
+                           core::Placement{rng.sample_without_replacement(matrix.size(), 49)}});
+  configs.push_back(Config{"maj49", &majority,
+                           core::Placement{rng.sample_without_replacement(matrix.size(), 49)}});
+
+  // --- Headline comparison: naive vs delta local search, identical rounds.
+  // Two rounds bound the naive runtime while exercising a full neighborhood
+  // scan per round (49 elements x 151 free sites x 200 clients).
+  core::LocalSearchOptions naive_options;
+  naive_options.engine = core::LocalSearchEngine::Naive;
+  naive_options.max_rounds = 2;
+  core::LocalSearchOptions delta_options;
+  delta_options.engine = core::LocalSearchEngine::Delta;
+  delta_options.threads = 1;
+  delta_options.max_rounds = 2;
+  core::LocalSearchOptions parallel_options = delta_options;
+  parallel_options.threads = 0;  // Shared pool (QP_THREADS / hardware).
+
+  struct Row {
+    std::string config;
+    double naive_ms;
+    double delta_ms;
+    double parallel_ms;
+    double speedup;
+  };
+  std::vector<Row> rows;
+  for (const Config& config : configs) {
+    const double naive_ms =
+        time_local_search_ms(matrix, *config.system, config.placement, naive_options);
+    const double delta_ms =
+        time_local_search_ms(matrix, *config.system, config.placement, delta_options);
+    const double parallel_ms =
+        time_local_search_ms(matrix, *config.system, config.placement, parallel_options);
+    rows.push_back(Row{config.label, naive_ms, delta_ms, parallel_ms,
+                       naive_ms / delta_ms});
+  }
+
+  std::cout << "# Evaluation kernels: naive vs workspace vs delta (200 clients, n=49)\n"
+            << "config,naive_search_ms,delta_search_ms,parallel_search_ms,speedup_vs_naive\n";
+  for (const Row& row : rows) {
+    std::cout << row.config << ',' << row.naive_ms << ',' << row.delta_ms << ','
+              << row.parallel_ms << ',' << row.speedup << '\n';
+  }
+
+  for (const Row& row : rows) {
+    qp::bench::register_point(
+        "EvalKernels/local_search_speedup/" + row.config, [row](benchmark::State& state) {
+          state.counters["naive_ms"] = row.naive_ms;
+          state.counters["delta_ms"] = row.delta_ms;
+          state.counters["parallel_ms"] = row.parallel_ms;
+          state.counters["speedup_vs_naive"] = row.speedup;
+        });
+  }
+
+  // --- Genuine timing benchmarks of the individual kernels.
+  for (const Config& config : configs) {
+    benchmark::RegisterBenchmark(
+        ("EvalKernels/objective_naive/" + config.label).c_str(),
+        [&matrix, &config](benchmark::State& state) {
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(
+                naive_objective(matrix, *config.system, config.placement));
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("EvalKernels/objective_workspace/" + config.label).c_str(),
+        [&matrix, &config](benchmark::State& state) {
+          core::EvalWorkspace workspace;
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(core::average_uniform_network_delay_ws(
+                matrix, *config.system, config.placement, workspace));
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("EvalKernels/delta_candidate/" + config.label).c_str(),
+        [&matrix, &config](benchmark::State& state) {
+          const core::DeltaEvaluator eval{matrix, *config.system, config.placement};
+          std::size_t site = 0;
+          std::size_t element = 0;
+          for (auto _ : state) {
+            site = (site + 1) % matrix.size();
+            element = (element + 1) % config.placement.universe_size();
+            benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+          }
+        });
+  }
+
+  return qp::bench::run_benchmarks(argc, argv);
+}

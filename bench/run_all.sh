@@ -31,6 +31,16 @@ cmake --build "${BUILD_DIR}" --target bench_all -j "$(nproc)"
 
 mkdir -p "${OUT_DIR}"
 
+# Provenance: embed git SHA, UTC date, and build type into every JSON's
+# "context" object (google-benchmark --benchmark_context), so the perf
+# trajectory is attributable across PRs.
+GIT_SHA="$(git -C "${ROOT}" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if [[ -n "$(git -C "${ROOT}" status --porcelain 2>/dev/null)" ]]; then
+  GIT_SHA="${GIT_SHA}-dirty"
+fi
+RUN_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' "${BUILD_DIR}/CMakeCache.txt")"
+
 benches=("${BUILD_DIR}"/bench/*)
 ran=0
 for bin in "${benches[@]}"; do
@@ -45,6 +55,9 @@ for bin in "${benches[@]}"; do
   "${bin}" \
     --benchmark_out="${OUT_DIR}/BENCH_${name}.json" \
     --benchmark_out_format=json \
+    --benchmark_context=git_sha="${GIT_SHA}" \
+    --benchmark_context=date="${RUN_DATE}" \
+    --benchmark_context=build_type="${BUILD_TYPE}" \
     | awk '/^----/{table=1} !table {print}' > "${OUT_DIR}/${name}.csv"
   ran=$((ran + 1))
 done

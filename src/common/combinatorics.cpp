@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace qp::common {
 
@@ -27,6 +30,21 @@ double binomial_ratio(std::size_t a, std::size_t b, std::size_t k) noexcept {
   if (k > a) return 0.0;
   if (k > b) return std::numeric_limits<double>::infinity();
   return std::exp(log_binomial(a, k) - log_binomial(b, k));
+}
+
+const std::vector<double>& binomial_ratio_row(std::size_t n, std::size_t k) {
+  // std::map nodes are stable, so returned references survive later inserts.
+  static std::map<std::pair<std::size_t, std::size_t>, std::vector<double>> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock{mutex};
+  const auto key = std::make_pair(n, k);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    std::vector<double> row(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) row[i] = binomial_ratio(i, n, k);
+    it = cache.emplace(key, std::move(row)).first;
+  }
+  return it->second;
 }
 
 std::uint64_t binomial_exact(std::size_t n, std::size_t k) {

@@ -18,6 +18,14 @@ namespace qp::common {
 /// exp(log_binomial(a, k) - log_binomial(b, k)): numerically stable C(a,k)/C(b,k).
 [[nodiscard]] double binomial_ratio(std::size_t a, std::size_t b, std::size_t k) noexcept;
 
+/// Memoized row of binomial ratios: row[i] = binomial_ratio(i, n, k) for
+/// i = 0..n (so row.size() == n + 1). Entry i is the order-statistic CDF
+/// P(max of a uniform k-subset falls within the i smallest values), which the
+/// placement-evaluation hot path consumes per (n, k) instead of recomputing
+/// lgamma-based ratios per call. Thread-safe; the returned reference stays
+/// valid for the lifetime of the program (entries are never evicted).
+[[nodiscard]] const std::vector<double>& binomial_ratio_row(std::size_t n, std::size_t k);
+
 /// All k-subsets of {0..n-1} in lexicographic order. Throws if C(n,k) > limit
 /// (guards test oracles against accidental combinatorial explosions).
 [[nodiscard]] std::vector<std::vector<std::size_t>> all_subsets(std::size_t n,

@@ -1,0 +1,150 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qp::common {
+
+namespace {
+
+/// The pool a thread is currently working for, if any — lets parallel_for
+/// detect reentrancy from its own workers (and from nested calls on the
+/// caller thread, which participates in the work) and degrade to inline
+/// serial execution instead of deadlocking.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  /// Serializes whole parallel_for invocations from distinct non-worker
+  /// threads: the pool runs one job at a time, later callers block until the
+  /// current job drains. (Workers and nested calls never take this — they
+  /// run inline via the current_pool check.)
+  std::mutex submit_mutex;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+
+  // State of the in-flight parallel_for (guarded by mutex except `next`).
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+  std::size_t generation = 0;
+  std::size_t busy_workers = 0;
+  std::exception_ptr first_error;
+  bool stop = false;
+
+  void run_indices() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop(const ThreadPool* owner) {
+    current_pool = owner;
+    std::size_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock{mutex};
+        work_cv.wait(lock, [&] { return stop || generation != seen_generation; });
+        if (stop) return;
+        seen_generation = generation;
+      }
+      run_indices();
+      {
+        std::lock_guard<std::mutex> lock{mutex};
+        if (--busy_workers == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t thread_count) : impl_(std::make_unique<Impl>()) {
+  if (thread_count == 0) {
+    thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  impl_->workers.reserve(thread_count - 1);
+  for (std::size_t i = 0; i + 1 < thread_count; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(this); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{impl_->mutex};
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t ThreadPool::thread_count() const noexcept {
+  return impl_->workers.size() + 1;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (impl_->workers.empty() || current_pool == this) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::lock_guard<std::mutex> submit_lock{impl_->submit_mutex};
+  {
+    std::lock_guard<std::mutex> lock{impl_->mutex};
+    impl_->body = &body;
+    impl_->next.store(begin, std::memory_order_relaxed);
+    impl_->end = end;
+    impl_->busy_workers = impl_->workers.size();
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller participates; mark it as working for this pool so any nested
+  // parallel_for from inside the body runs inline.
+  const ThreadPool* previous = current_pool;
+  current_pool = this;
+  impl_->run_indices();
+  current_pool = previous;
+
+  std::unique_lock<std::mutex> lock{impl_->mutex};
+  impl_->done_cv.wait(lock, [&] { return impl_->busy_workers == 0; });
+  impl_->body = nullptr;
+  if (impl_->first_error) {
+    std::exception_ptr error = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool{[] {
+    std::size_t count = 0;  // 0 = hardware_concurrency.
+    if (const char* env = std::getenv("QP_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) count = static_cast<std::size_t>(parsed);
+    }
+    return count;
+  }()};
+  return pool;
+}
+
+}  // namespace qp::common

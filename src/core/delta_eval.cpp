@@ -1,0 +1,303 @@
+#include "core/delta_eval.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "quorum/grid.hpp"
+
+namespace qp::core {
+
+namespace {
+
+constexpr std::size_t kEnumerationLimit = 50'000;
+
+}  // namespace
+
+DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
+                               const quorum::QuorumSystem& system,
+                               const Placement& placement)
+    : matrix_(&matrix), system_(&system), placement_(placement), mode_(Mode::Recompute) {
+  placement_.validate(matrix.size());
+  clients_ = matrix.size();
+  n_ = placement_.universe_size();
+  if (n_ != system.universe_size()) {
+    throw std::invalid_argument{"DeltaEvaluator: placement size != universe size"};
+  }
+  weights_ = system.order_stat_weights();
+  if (!weights_.empty()) {
+    if (weights_.size() != n_) {
+      throw std::logic_error{"DeltaEvaluator: order_stat_weights size mismatch"};
+    }
+    mode_ = Mode::SortedWeights;
+  } else if (const auto* grid = dynamic_cast<const quorum::GridQuorum*>(&system)) {
+    mode_ = Mode::Grid;
+    side_ = grid->side();
+  } else if (system.enumerable(kEnumerationLimit)) {
+    mode_ = Mode::Enumerated;
+    quorums_ = system.enumerate_quorums(kEnumerationLimit);
+    incident_.assign(n_, {});
+    for (std::size_t l = 0; l < quorums_.size(); ++l) {
+      for (std::size_t u : quorums_[l]) incident_[u].push_back(l);
+    }
+  }
+  rebuild();
+}
+
+double DeltaEvaluator::objective() const noexcept {
+  return base_total_ / static_cast<double>(clients_);
+}
+
+void DeltaEvaluator::rebuild() {
+  client_sum_.resize(clients_);
+  base_total_ = 0.0;
+  switch (mode_) {
+    case Mode::SortedWeights: {
+      sorted_.resize(clients_ * n_);
+      shift_up_.resize(clients_ * n_);
+      shift_down_.resize(clients_ * (n_ + 1));
+      const double* w = weights_.data();
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const std::vector<double>& rtt = matrix_->row(v);
+        double* y = sorted_.data() + v * n_;
+        for (std::size_t u = 0; u < n_; ++u) y[u] = rtt[placement_.site_of[u]];
+        std::sort(y, y + n_);
+        double expectation = 0.0;
+        for (std::size_t i = 0; i < n_; ++i) expectation += y[i] * w[i];
+        client_sum_[v] = expectation;
+        base_total_ += expectation;
+        // A[j] = sum_{i<j} y[i] (w[i+1] - w[i]) — the expectation change when
+        // the j smallest values all shift one rank up (an insertion below
+        // them); B[j] = sum_{1<=i<j} y[i] (w[i-1] - w[i]) — one rank down.
+        double* a = shift_up_.data() + v * n_;
+        double* b = shift_down_.data() + v * (n_ + 1);
+        a[0] = 0.0;
+        for (std::size_t j = 1; j < n_; ++j) a[j] = a[j - 1] + y[j - 1] * (w[j] - w[j - 1]);
+        b[0] = 0.0;
+        if (n_ >= 1) b[1] = 0.0;
+        for (std::size_t j = 2; j <= n_; ++j) {
+          b[j] = b[j - 1] + y[j - 1] * (w[j - 2] - w[j - 1]);
+        }
+      }
+      break;
+    }
+    case Mode::Grid: {
+      const std::size_t k = side_;
+      const double neg_inf = -std::numeric_limits<double>::infinity();
+      values_.resize(clients_ * n_);
+      row_max_.resize(clients_ * k);
+      col_max_.resize(clients_ * k);
+      row_excl_.resize(clients_ * n_);
+      col_excl_.resize(clients_ * n_);
+      row_quorum_sum_.resize(clients_ * k);
+      col_quorum_sum_.resize(clients_ * k);
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const std::vector<double>& rtt = matrix_->row(v);
+        double* vals = values_.data() + v * n_;
+        for (std::size_t u = 0; u < n_; ++u) vals[u] = rtt[placement_.site_of[u]];
+        double* rm = row_max_.data() + v * k;
+        double* cm = col_max_.data() + v * k;
+        std::fill(rm, rm + k, neg_inf);
+        std::fill(cm, cm + k, neg_inf);
+        for (std::size_t r = 0; r < k; ++r) {
+          for (std::size_t c = 0; c < k; ++c) {
+            const double x = vals[r * k + c];
+            rm[r] = std::max(rm[r], x);
+            cm[c] = std::max(cm[c], x);
+          }
+        }
+        // row_excl[(r, c)] = max of row r without column c (so the new row
+        // maximum after placing `val` at (r, c) is max(row_excl, val) with
+        // no branch); col_excl is the transpose analogue.
+        double* rex = row_excl_.data() + v * n_;
+        double* cex = col_excl_.data() + v * n_;
+        for (std::size_t r = 0; r < k; ++r) {
+          for (std::size_t c = 0; c < k; ++c) {
+            double without = neg_inf;
+            for (std::size_t o = 0; o < k; ++o) {
+              if (o != c) without = std::max(without, vals[r * k + o]);
+            }
+            rex[r * k + c] = without;
+            without = neg_inf;
+            for (std::size_t o = 0; o < k; ++o) {
+              if (o != r) without = std::max(without, vals[o * k + c]);
+            }
+            cex[r * k + c] = without;
+          }
+        }
+        // Per-row / per-column sums of the quorum maxima.
+        double* rqs = row_quorum_sum_.data() + v * k;
+        double* cqs = col_quorum_sum_.data() + v * k;
+        std::fill(rqs, rqs + k, 0.0);
+        std::fill(cqs, cqs + k, 0.0);
+        double sum = 0.0;
+        for (std::size_t r = 0; r < k; ++r) {
+          for (std::size_t c = 0; c < k; ++c) {
+            const double quorum_max = std::max(rm[r], cm[c]);
+            rqs[r] += quorum_max;
+            cqs[c] += quorum_max;
+            sum += quorum_max;
+          }
+        }
+        client_sum_[v] = sum;
+        base_total_ += sum / static_cast<double>(n_);
+      }
+      break;
+    }
+    case Mode::Enumerated: {
+      const std::size_t count = quorums_.size();
+      values_.resize(clients_ * n_);
+      quorum_max_.resize(clients_ * count);
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const std::vector<double>& rtt = matrix_->row(v);
+        double* vals = values_.data() + v * n_;
+        for (std::size_t u = 0; u < n_; ++u) vals[u] = rtt[placement_.site_of[u]];
+        double* qmax = quorum_max_.data() + v * count;
+        double sum = 0.0;
+        for (std::size_t l = 0; l < count; ++l) {
+          double worst = -std::numeric_limits<double>::infinity();
+          for (std::size_t u : quorums_[l]) worst = std::max(worst, vals[u]);
+          qmax[l] = worst;
+          sum += worst;
+        }
+        client_sum_[v] = sum;
+        base_total_ += sum / static_cast<double>(count);
+      }
+      break;
+    }
+    case Mode::Recompute: {
+      values_.resize(clients_ * n_);
+      std::vector<double> scratch;
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const std::vector<double>& rtt = matrix_->row(v);
+        double* vals = values_.data() + v * n_;
+        for (std::size_t u = 0; u < n_; ++u) vals[u] = rtt[placement_.site_of[u]];
+        const double expectation = system_->expected_max_uniform_scratch(
+            std::span<const double>{vals, n_}, scratch);
+        client_sum_[v] = expectation;
+        base_total_ += expectation;
+      }
+      break;
+    }
+  }
+}
+
+double DeltaEvaluator::client_delta_sorted(std::size_t client, double old_value,
+                                           double new_value) const {
+  const double* y = sorted_.data() + client * n_;
+  const double* a = shift_up_.data() + client * n_;
+  const double* b = shift_down_.data() + client * (n_ + 1);
+  const double* w = weights_.data();
+  if (new_value < old_value) {
+    // Remove the first occurrence of old_value at p, insert at ins <= p: the
+    // values in [ins, p) shift one rank up.
+    const std::size_t p =
+        static_cast<std::size_t>(std::lower_bound(y, y + n_, old_value) - y);
+    const std::size_t ins =
+        static_cast<std::size_t>(std::lower_bound(y, y + p, new_value) - y);
+    return new_value * w[ins] - old_value * w[p] + (a[p] - a[ins]);
+  }
+  if (new_value > old_value) {
+    // Remove the last occurrence of old_value at p, insert at q >= p: the
+    // values in (p, q] shift one rank down.
+    const std::size_t p =
+        static_cast<std::size_t>(std::upper_bound(y, y + n_, old_value) - y) - 1;
+    const std::size_t q =
+        static_cast<std::size_t>(std::upper_bound(y + p, y + n_, new_value) - y) - 1;
+    return new_value * w[q] - old_value * w[p] + (b[q + 1] - b[p + 1]);
+  }
+  return 0.0;
+}
+
+double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site) const {
+  assert(element < n_);
+  assert(site < matrix_->size());
+  const std::size_t old_site = placement_.site_of[element];
+  double total = 0.0;
+  switch (mode_) {
+    case Mode::SortedWeights: {
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const std::vector<double>& rtt = matrix_->row(v);
+        total += client_sum_[v] + client_delta_sorted(v, rtt[old_site], rtt[site]);
+      }
+      break;
+    }
+    case Mode::Grid: {
+      const std::size_t k = side_;
+      const std::size_t r0 = element / k;
+      const std::size_t c0 = element % k;
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const double val = matrix_->row(v)[site];
+        const double* rm = row_max_.data() + v * k;
+        const double* cm = col_max_.data() + v * k;
+        const double new_row = std::max(row_excl_[v * n_ + element], val);
+        const double new_col = std::max(col_excl_[v * n_ + element], val);
+        // Only quorum maxima in row r0 or column c0 change. New row-r0 part:
+        // sum_c max(new_row, cm'[c]) with cm'[c0] = new_col, via a branch-free
+        // full-row reduction corrected at c0; old part is the cached sum.
+        double row_part = std::max(new_row, new_col) - std::max(new_row, cm[c0]);
+        for (std::size_t c = 0; c < k; ++c) row_part += std::max(new_row, cm[c]);
+        // New column-c0 part excluding the shared (r0, c0) cell; old part is
+        // the cached column sum minus that cell.
+        double col_part = -std::max(rm[r0], new_col);
+        for (std::size_t r = 0; r < k; ++r) col_part += std::max(rm[r], new_col);
+        const double old_col_part =
+            col_quorum_sum_[v * k + c0] - std::max(rm[r0], cm[c0]);
+        const double delta =
+            (row_part - row_quorum_sum_[v * k + r0]) + (col_part - old_col_part);
+        total += (client_sum_[v] + delta) / static_cast<double>(n_);
+      }
+      break;
+    }
+    case Mode::Enumerated: {
+      const std::size_t count = quorums_.size();
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const double val = matrix_->row(v)[site];
+        const double* vals = values_.data() + v * n_;
+        const double* qmax = quorum_max_.data() + v * count;
+        double delta = 0.0;
+        for (std::size_t l : incident_[element]) {
+          double worst = -std::numeric_limits<double>::infinity();
+          for (std::size_t u : quorums_[l]) {
+            worst = std::max(worst, u == element ? val : vals[u]);
+          }
+          delta += worst - qmax[l];
+        }
+        total += (client_sum_[v] + delta) / static_cast<double>(count);
+      }
+      break;
+    }
+    case Mode::Recompute: {
+      // Thread-local buffers keep the const method allocation-free in steady
+      // state AND safe under a parallel neighborhood scan.
+      static thread_local std::vector<double> tl_values;
+      static thread_local std::vector<double> tl_scratch;
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const double* vals = values_.data() + v * n_;
+        tl_values.assign(vals, vals + n_);
+        tl_values[element] = matrix_->row(v)[site];
+        total += system_->expected_max_uniform_scratch(tl_values, tl_scratch);
+      }
+      break;
+    }
+  }
+  return total / static_cast<double>(clients_);
+}
+
+void DeltaEvaluator::apply_move(std::size_t element, std::size_t site) {
+  if (element >= n_ || site >= matrix_->size()) {
+    throw std::out_of_range{"DeltaEvaluator::apply_move: element or site out of range"};
+  }
+  placement_.site_of[element] = site;
+  rebuild();
+#ifndef NDEBUG
+  // Parity against the naive objective: the rebuilt base must match a full
+  // re-evaluation (summation order differs, hence the tolerance).
+  const double naive = average_uniform_network_delay(*matrix_, *system_, placement_);
+  assert(std::abs(objective() - naive) <= 1e-9 * std::max(1.0, std::abs(naive)));
+#endif
+}
+
+}  // namespace qp::core

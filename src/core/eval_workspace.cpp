@@ -1,0 +1,35 @@
+#include "core/eval_workspace.hpp"
+
+namespace qp::core {
+
+void fill_element_distances(const net::LatencyMatrix& matrix, const Placement& placement,
+                            std::size_t client, std::vector<double>& out) {
+  const std::vector<double>& row = matrix.row(client);
+  out.resize(placement.universe_size());
+  for (std::size_t u = 0; u < out.size(); ++u) out[u] = row[placement.site_of[u]];
+}
+
+void fill_element_values(const net::LatencyMatrix& matrix, const Placement& placement,
+                         std::span<const double> site_load, double alpha,
+                         std::size_t client, std::vector<double>& out) {
+  const std::vector<double>& row = matrix.row(client);
+  out.resize(placement.universe_size());
+  for (std::size_t u = 0; u < out.size(); ++u) {
+    const std::size_t site = placement.site_of[u];
+    out[u] = row[site] + alpha * site_load[site];
+  }
+}
+
+double average_uniform_network_delay_ws(const net::LatencyMatrix& matrix,
+                                        const quorum::QuorumSystem& system,
+                                        const Placement& placement,
+                                        EvalWorkspace& workspace) {
+  double total = 0.0;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    fill_element_distances(matrix, placement, v, workspace.distances);
+    total += system.expected_max_uniform_scratch(workspace.distances, workspace.scratch);
+  }
+  return total / static_cast<double>(matrix.size());
+}
+
+}  // namespace qp::core

@@ -1,0 +1,52 @@
+// EvalWorkspace: flat, reusable scratch buffers for the placement-evaluation
+// hot path. The paper's search loops (best-single-client placement, local
+// search, figure sweeps) evaluate E[max over a quorum] of per-client value
+// vectors millions of times; the original kernels allocated two vectors and
+// sorted per client per call. The fill_* kernels below write into caller
+// buffers instead, and average_uniform_network_delay_ws reuses one workspace
+// across the whole client loop, so steady-state evaluation performs zero
+// heap allocations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "net/latency_matrix.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::core {
+
+/// Scratch buffers sized on first use and reused afterwards. One workspace
+/// per thread; the buffers are plain vectors, so moving/copying is cheap to
+/// reason about and a default-constructed workspace is ready to use.
+struct EvalWorkspace {
+  /// x_u = d(v, f(u)) + alpha * load_f(f(u)) per element.
+  std::vector<double> values;
+  /// d(v, f(u)) per element.
+  std::vector<double> distances;
+  /// Working space handed to QuorumSystem::expected_max_uniform_scratch
+  /// (sort buffer for Majority, row/column maxima for Grid).
+  std::vector<double> scratch;
+};
+
+/// element_distances into a caller buffer: out[u] = rtt(client, f(u)).
+/// No validation (the caller validates the placement once, not per client).
+void fill_element_distances(const net::LatencyMatrix& matrix, const Placement& placement,
+                            std::size_t client, std::vector<double>& out);
+
+/// Per-element response values out[u] = d(v, f(u)) + alpha * load_f(f(u));
+/// with these, max over f(Q) equals max over elements of Q for any placement.
+void fill_element_values(const net::LatencyMatrix& matrix, const Placement& placement,
+                         std::span<const double> site_load, double alpha,
+                         std::size_t client, std::vector<double>& out);
+
+/// avg_v E_uniform[max d] — same value as average_uniform_network_delay but
+/// with all per-client buffers taken from `workspace`.
+[[nodiscard]] double average_uniform_network_delay_ws(const net::LatencyMatrix& matrix,
+                                                      const quorum::QuorumSystem& system,
+                                                      const Placement& placement,
+                                                      EvalWorkspace& workspace);
+
+}  // namespace qp::core

@@ -1,18 +1,26 @@
 #include "core/local_search.hpp"
 
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+#include "core/delta_eval.hpp"
+
 namespace qp::core {
 
-LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
-                                         const quorum::QuorumSystem& system,
-                                         const Placement& initial,
-                                         const LocalSearchOptions& options) {
-  initial.validate(matrix.size());
-  if (!initial.one_to_one()) {
-    throw std::invalid_argument{"local_search_placement: initial must be one-to-one"};
-  }
+namespace {
+
+/// One relocation candidate: move `element` to (currently unused) `site`.
+struct Candidate {
+  std::size_t element;
+  std::size_t site;
+};
+
+LocalSearchResult local_search_naive(const net::LatencyMatrix& matrix,
+                                     const quorum::QuorumSystem& system,
+                                     const Placement& initial,
+                                     const LocalSearchOptions& options) {
   LocalSearchResult result;
   result.placement = initial;
   result.objective = average_uniform_network_delay(matrix, system, result.placement);
@@ -50,6 +58,87 @@ LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
     ++result.moves;
   }
   return result;
+}
+
+LocalSearchResult local_search_delta(const net::LatencyMatrix& matrix,
+                                     const quorum::QuorumSystem& system,
+                                     const Placement& initial,
+                                     const LocalSearchOptions& options) {
+  DeltaEvaluator eval{matrix, system, initial};
+
+  std::vector<bool> used(matrix.size(), false);
+  for (std::size_t site : initial.site_of) used[site] = true;
+
+  // threads == 1 runs serial; 0 shares the global pool; n > 1 gets its own.
+  std::optional<common::ThreadPool> dedicated;
+  common::ThreadPool* pool = nullptr;
+  if (options.threads == 0) {
+    pool = &common::global_thread_pool();
+  } else if (options.threads > 1) {
+    dedicated.emplace(options.threads);
+    pool = &*dedicated;
+  }
+
+  LocalSearchResult result;
+  std::vector<Candidate> candidates;
+  std::vector<double> objectives;
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    const double current = eval.objective();
+    candidates.clear();
+    for (std::size_t u = 0; u < eval.placement().universe_size(); ++u) {
+      for (std::size_t w = 0; w < matrix.size(); ++w) {
+        if (!used[w]) candidates.push_back(Candidate{u, w});
+      }
+    }
+    objectives.resize(candidates.size());
+    const auto evaluate_candidate = [&](std::size_t i) {
+      objectives[i] = eval.objective_if_moved(candidates[i].element, candidates[i].site);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(0, candidates.size(), evaluate_candidate);
+    } else {
+      for (std::size_t i = 0; i < candidates.size(); ++i) evaluate_candidate(i);
+    }
+
+    // Fixed-order argmin reduction: replays the serial best-improvement scan
+    // over the candidate-ordered objectives, so the selected move (and its
+    // tie-breaking) is identical for any thread count.
+    double best_objective = current;
+    std::size_t best_index = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (objectives[i] < best_objective - options.min_improvement) {
+        best_objective = objectives[i];
+        best_index = i;
+      }
+    }
+    if (best_index == candidates.size()) break;
+    used[eval.placement().site_of[candidates[best_index].element]] = false;
+    used[candidates[best_index].site] = true;
+    eval.apply_move(candidates[best_index].element, candidates[best_index].site);
+    ++result.moves;
+  }
+
+  result.placement = eval.placement();
+  // Final objective via the canonical evaluator, so callers comparing against
+  // average_uniform_network_delay see the exact same value.
+  result.objective = average_uniform_network_delay(matrix, system, result.placement);
+  return result;
+}
+
+}  // namespace
+
+LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
+                                         const quorum::QuorumSystem& system,
+                                         const Placement& initial,
+                                         const LocalSearchOptions& options) {
+  initial.validate(matrix.size());
+  if (!initial.one_to_one()) {
+    throw std::invalid_argument{"local_search_placement: initial must be one-to-one"};
+  }
+  if (options.engine == LocalSearchEngine::Naive) {
+    return local_search_naive(matrix, system, initial, options);
+  }
+  return local_search_delta(matrix, system, initial, options);
 }
 
 }  // namespace qp::core

@@ -3,6 +3,17 @@
 // placements of §4.1.1 to a local optimum of the average uniform network
 // delay? The search relocates one universe element at a time to an unused
 // site, taking the best improving move, until a local optimum.
+//
+// Two evaluation engines share the same best-improvement semantics and
+// tie-breaking (first strict improvement in (element, site) scan order
+// wins ties):
+//   * Delta — incremental evaluation via core::DeltaEvaluator: O(log n) per
+//     client per candidate instead of a full re-sort, optionally scanning
+//     the neighborhood on the shared thread pool. The parallel scan only
+//     distributes candidate evaluation; the argmin reduction replays the
+//     serial scan order, so results are bit-identical for any thread count.
+//   * Naive — full objective re-evaluation per candidate; the reference
+//     path, kept for benchmarking and parity tests.
 #pragma once
 
 #include <cstddef>
@@ -13,11 +24,22 @@
 
 namespace qp::core {
 
+enum class LocalSearchEngine {
+  Delta,  // Incremental (default): identical moves, orders of magnitude faster.
+  Naive,  // Full re-evaluation per candidate move.
+};
+
 struct LocalSearchOptions {
   /// Hard cap on improvement rounds (each round scans all moves).
   std::size_t max_rounds = 100;
   /// A move must improve the objective by more than this to be taken.
   double min_improvement = 1e-9;
+  /// Evaluation engine; Delta and Naive agree to ~1e-12 per candidate.
+  LocalSearchEngine engine = LocalSearchEngine::Delta;
+  /// Worker threads for the Delta candidate scan: 0 = the shared global
+  /// pool, 1 = fully serial, n > 1 = a dedicated pool of n threads.
+  /// Bit-identical results for every setting. Ignored by the Naive engine.
+  std::size_t threads = 0;
 };
 
 struct LocalSearchResult {

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+#include "core/eval_workspace.hpp"
 #include "quorum/grid.hpp"
 
 namespace qp::core {
@@ -84,12 +86,8 @@ double average_uniform_network_delay(const net::LatencyMatrix& matrix,
                                      const quorum::QuorumSystem& system,
                                      const Placement& placement) {
   placement.validate(matrix.size());
-  double total = 0.0;
-  for (std::size_t v = 0; v < matrix.size(); ++v) {
-    const std::vector<double> values = element_distances(matrix, placement, v);
-    total += system.expected_max_uniform(values);
-  }
-  return total / static_cast<double>(matrix.size());
+  EvalWorkspace workspace;
+  return average_uniform_network_delay_ws(matrix, system, placement, workspace);
 }
 
 PlacementSearchResult best_placement(
@@ -102,20 +100,37 @@ PlacementSearchResult best_placement(
     std::iota(all.begin(), all.end(), std::size_t{0});
     candidates = all;
   }
-  PlacementSearchResult best;
-  best.avg_network_delay = std::numeric_limits<double>::infinity();
-  for (std::size_t v0 : candidates) {
-    Placement placement = build_for_client(v0);
-    const double delay = average_uniform_network_delay(matrix, system, placement);
-    if (delay < best.avg_network_delay) {
-      best.avg_network_delay = delay;
-      best.anchor_client = v0;
-      best.placement = std::move(placement);
+  // Build and evaluate every candidate placement in parallel (the builders
+  // are pure functions of v0), then reduce serially in candidate order so the
+  // winner — including tie-breaking on equal delays — is identical to the
+  // historical serial scan for any thread count. Only the delays are kept
+  // (O(candidates) memory); the winning placement is rebuilt once at the end,
+  // which purity makes exact.
+  std::vector<double> delays(candidates.size());
+  common::global_thread_pool().parallel_for(
+      0, candidates.size(), [&](std::size_t i) {
+        static thread_local EvalWorkspace workspace;
+        const Placement placement = build_for_client(candidates[i]);
+        placement.validate(matrix.size());
+        delays[i] =
+            average_uniform_network_delay_ws(matrix, system, placement, workspace);
+      });
+
+  std::size_t best_index = candidates.size();
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (delays[i] < best_delay) {
+      best_delay = delays[i];
+      best_index = i;
     }
   }
-  if (!std::isfinite(best.avg_network_delay)) {
+  if (best_index == candidates.size() || !std::isfinite(best_delay)) {
     throw std::invalid_argument{"best_placement: no candidate clients"};
   }
+  PlacementSearchResult best;
+  best.avg_network_delay = best_delay;
+  best.anchor_client = candidates[best_index];
+  best.placement = build_for_client(candidates[best_index]);
   return best;
 }
 

@@ -67,7 +67,10 @@ struct PlacementSearchResult {
 
 /// §4.1.1 outer loop: builds the single-client placement for every candidate
 /// v0 (all sites when `candidates` is empty), evaluates each under the
-/// uniform access strategy, and returns the best.
+/// uniform access strategy, and returns the best. Candidates are evaluated
+/// on the shared thread pool, so `build_for_client` must be thread-safe (a
+/// pure function of v0, as all the built-in builders are); the reduction is
+/// serial in candidate order, so the result is identical to a serial scan.
 [[nodiscard]] PlacementSearchResult best_placement(
     const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
     const std::function<Placement(std::size_t v0)>& build_for_client,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/eval_workspace.hpp"
+
 namespace qp::core {
 
 double rho(const net::LatencyMatrix& matrix, const Placement& placement,
@@ -17,25 +19,6 @@ double rho(const net::LatencyMatrix& matrix, const Placement& placement,
   return worst;
 }
 
-namespace {
-
-/// Per-element values x_u = d(v, f(u)) + alpha * load_f(f(u)); with these,
-/// max over f(Q) equals max over elements of Q, for any placement.
-std::vector<double> element_values(const net::LatencyMatrix& matrix,
-                                   const Placement& placement,
-                                   std::span<const double> site_load, double alpha,
-                                   std::size_t client) {
-  const std::vector<double>& row = matrix.row(client);
-  std::vector<double> values(placement.universe_size());
-  for (std::size_t u = 0; u < values.size(); ++u) {
-    const std::size_t site = placement.site_of[u];
-    values[u] = row[site] + alpha * site_load[site];
-  }
-  return values;
-}
-
-}  // namespace
-
 Evaluation evaluate_closest(const net::LatencyMatrix& matrix,
                             const quorum::QuorumSystem& system, const Placement& placement,
                             double alpha, ExecutionModel model) {
@@ -43,15 +26,16 @@ Evaluation evaluate_closest(const net::LatencyMatrix& matrix,
   Evaluation eval;
   eval.site_load = site_loads_closest(matrix, system, placement, model);
   eval.per_client_response.reserve(matrix.size());
+  EvalWorkspace ws;
   double response_sum = 0.0;
   double network_sum = 0.0;
   for (std::size_t v = 0; v < matrix.size(); ++v) {
-    const std::vector<double> distances = element_distances(matrix, placement, v);
+    fill_element_distances(matrix, placement, v, ws.distances);
     // The quorum is chosen by network delay alone (that is what "closest"
     // means); the load term then applies to the chosen quorum.
-    const quorum::Quorum quorum = system.best_quorum(distances);
+    const quorum::Quorum quorum = system.best_quorum(ws.distances);
     double network = 0.0;
-    for (std::size_t u : quorum) network = std::max(network, distances[u]);
+    for (std::size_t u : quorum) network = std::max(network, ws.distances[u]);
     const double response = rho(matrix, placement, eval.site_load, alpha, v, quorum);
     eval.per_client_response.push_back(response);
     response_sum += response;
@@ -69,14 +53,14 @@ Evaluation evaluate_balanced(const net::LatencyMatrix& matrix,
   Evaluation eval;
   eval.site_load = site_loads_balanced(system, placement, matrix.size(), model);
   eval.per_client_response.reserve(matrix.size());
+  EvalWorkspace ws;
   double response_sum = 0.0;
   double network_sum = 0.0;
   for (std::size_t v = 0; v < matrix.size(); ++v) {
-    const std::vector<double> values =
-        element_values(matrix, placement, eval.site_load, alpha, v);
-    const std::vector<double> distances = element_distances(matrix, placement, v);
-    const double response = system.expected_max_uniform(values);
-    const double network = system.expected_max_uniform(distances);
+    fill_element_values(matrix, placement, eval.site_load, alpha, v, ws.values);
+    fill_element_distances(matrix, placement, v, ws.distances);
+    const double response = system.expected_max_uniform_scratch(ws.values, ws.scratch);
+    const double network = system.expected_max_uniform_scratch(ws.distances, ws.scratch);
     eval.per_client_response.push_back(response);
     response_sum += response;
     network_sum += network;
@@ -95,12 +79,12 @@ Evaluation evaluate_explicit(const net::LatencyMatrix& matrix,
   Evaluation eval;
   eval.site_load = site_loads_explicit(strategy, placement, matrix.size(), model);
   eval.per_client_response.reserve(matrix.size());
+  EvalWorkspace ws;
   double response_sum = 0.0;
   double network_sum = 0.0;
   for (std::size_t v = 0; v < matrix.size(); ++v) {
-    const std::vector<double> values =
-        element_values(matrix, placement, eval.site_load, alpha, v);
-    const std::vector<double> distances = element_distances(matrix, placement, v);
+    fill_element_values(matrix, placement, eval.site_load, alpha, v, ws.values);
+    fill_element_distances(matrix, placement, v, ws.distances);
     double response = 0.0;
     double network = 0.0;
     const std::vector<double>& probs = strategy.probability[v];
@@ -109,8 +93,8 @@ Evaluation evaluate_explicit(const net::LatencyMatrix& matrix,
       double value_max = 0.0;
       double distance_max = 0.0;
       for (std::size_t u : strategy.quorums[i]) {
-        value_max = std::max(value_max, values[u]);
-        distance_max = std::max(distance_max, distances[u]);
+        value_max = std::max(value_max, ws.values[u]);
+        distance_max = std::max(distance_max, ws.distances[u]);
       }
       response += probs[i] * value_max;
       network += probs[i] * distance_max;

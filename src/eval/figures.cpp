@@ -1,10 +1,12 @@
 #include "eval/figures.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "core/capacity.hpp"
 #include "core/iterative.hpp"
 #include "core/placement.hpp"
@@ -107,16 +109,25 @@ std::vector<GridDemandPoint> grid_demand_sweep(const net::LatencyMatrix& matrix,
   for (std::size_t k = 2; k <= max_side && k * k <= matrix.size(); ++k) {
     const quorum::GridQuorum system{k};
     const core::PlacementSearchResult search = core::best_grid_placement(matrix, k);
-    for (double demand : demands) {
+    // Each demand level is an independent evaluation of the same placement;
+    // fan out on the pool, collect into per-demand slots, append in order.
+    std::vector<std::array<GridDemandPoint, 2>> per_demand(demands.size());
+    common::global_thread_pool().parallel_for(0, demands.size(), [&](std::size_t i) {
+      const double demand = demands[i];
       const double alpha = core::kQuWriteServiceMs * demand;
       const core::Evaluation closest =
           core::evaluate_closest(matrix, system, search.placement, alpha);
       const core::Evaluation balanced =
           core::evaluate_balanced(matrix, system, search.placement, alpha);
-      points.push_back(GridDemandPoint{k * k, demand, "closest", closest.avg_response_ms,
-                                       closest.avg_network_delay_ms});
-      points.push_back(GridDemandPoint{k * k, demand, "balanced", balanced.avg_response_ms,
-                                       balanced.avg_network_delay_ms});
+      per_demand[i][0] = GridDemandPoint{k * k, demand, "closest", closest.avg_response_ms,
+                                         closest.avg_network_delay_ms};
+      per_demand[i][1] = GridDemandPoint{k * k, demand, "balanced",
+                                         balanced.avg_response_ms,
+                                         balanced.avg_network_delay_ms};
+    });
+    for (const auto& pair : per_demand) {
+      points.push_back(pair[0]);
+      points.push_back(pair[1]);
     }
   }
   return points;
@@ -135,7 +146,11 @@ std::vector<CapacityPoint> capacity_sweep(const net::LatencyMatrix& matrix,
     const std::vector<double> levels =
         core::uniform_capacity_levels(l_opt, config.levels);
 
-    for (double level : levels) {
+    // Each capacity level solves its own LP(s) against shared read-only
+    // state; fan the levels out on the pool and append results in order.
+    std::vector<std::vector<CapacityPoint>> per_level(levels.size());
+    common::global_thread_pool().parallel_for(0, levels.size(), [&](std::size_t i) {
+      const double level = levels[i];
       // Uniform capacities cap(v) = c_i.
       {
         const std::vector<double> caps = core::uniform_capacities(matrix.size(), level);
@@ -152,7 +167,7 @@ std::vector<CapacityPoint> capacity_sweep(const net::LatencyMatrix& matrix,
           point.response_ms = eval.avg_response_ms;
           point.network_delay_ms = eval.avg_network_delay_ms;
         }
-        points.push_back(point);
+        per_level[i].push_back(point);
       }
       // Non-uniform capacities in [beta, gamma] = [L_opt, c_i] (§7).
       if (config.include_nonuniform) {
@@ -171,8 +186,11 @@ std::vector<CapacityPoint> capacity_sweep(const net::LatencyMatrix& matrix,
           point.response_ms = eval.avg_response_ms;
           point.network_delay_ms = eval.avg_network_delay_ms;
         }
-        points.push_back(point);
+        per_level[i].push_back(point);
       }
+    });
+    for (const std::vector<CapacityPoint>& level_points : per_level) {
+      points.insert(points.end(), level_points.begin(), level_points.end());
     }
   }
   return points;
@@ -211,9 +229,14 @@ std::vector<IterativePoint> iterative_sweep(const net::LatencyMatrix& matrix,
       config.anchor_count == 0 ? std::vector<std::size_t>{}
                                : central_sites(matrix, config.anchor_count);
 
-  for (double level : levels) {
-    points.push_back(IterativePoint{level, "one-to-one", baseline.avg_network_delay_ms,
-                                    baseline.avg_response_ms});
+  // Every capacity level runs the full iterative algorithm independently;
+  // fan the levels out on the pool, append each level's rows in order.
+  std::vector<std::vector<IterativePoint>> per_level(levels.size());
+  common::global_thread_pool().parallel_for(0, levels.size(), [&](std::size_t i) {
+    const double level = levels[i];
+    per_level[i].push_back(IterativePoint{level, "one-to-one",
+                                          baseline.avg_network_delay_ms,
+                                          baseline.avg_response_ms});
     const std::vector<double> caps = core::uniform_capacities(matrix.size(), level);
     core::IterativeOptions options;
     options.anchor_candidates = anchors;
@@ -221,13 +244,16 @@ std::vector<IterativePoint> iterative_sweep(const net::LatencyMatrix& matrix,
         core::iterative_placement(matrix, system, caps, config.alpha, options);
     for (const core::IterationRecord& record : iterative.history) {
       const std::string prefix = "iter" + std::to_string(record.iteration);
-      points.push_back(IterativePoint{level, prefix + "-phase1",
-                                      record.network_after_placement,
-                                      record.response_after_placement});
-      points.push_back(IterativePoint{level, prefix + "-phase2",
-                                      record.network_after_strategy,
-                                      record.response_after_strategy});
+      per_level[i].push_back(IterativePoint{level, prefix + "-phase1",
+                                            record.network_after_placement,
+                                            record.response_after_placement});
+      per_level[i].push_back(IterativePoint{level, prefix + "-phase2",
+                                            record.network_after_strategy,
+                                            record.response_after_strategy});
     }
+  });
+  for (const std::vector<IterativePoint>& level_points : per_level) {
+    points.insert(points.end(), level_points.begin(), level_points.end());
   }
   return points;
 }

@@ -70,10 +70,31 @@ Quorum GridQuorum::best_quorum(std::span<const double> values) const {
 }
 
 double GridQuorum::expected_max_uniform(std::span<const double> values) const {
-  const std::vector<double> maxima = quorum_maxima(values);
+  std::vector<double> scratch;
+  return expected_max_uniform_scratch(values, scratch);
+}
+
+double GridQuorum::expected_max_uniform_scratch(std::span<const double> values,
+                                                std::vector<double>& scratch) const {
+  check_values_size(*this, values);
+  // scratch holds row maxima in [0, k) and column maxima in [k, 2k).
+  scratch.assign(2 * k_, -std::numeric_limits<double>::infinity());
+  double* row_max = scratch.data();
+  double* col_max = scratch.data() + k_;
+  for (std::size_t r = 0; r < k_; ++r) {
+    for (std::size_t c = 0; c < k_; ++c) {
+      const double v = values[r * k_ + c];
+      row_max[r] = std::max(row_max[r], v);
+      col_max[c] = std::max(col_max[c], v);
+    }
+  }
   double sum = 0.0;
-  for (double m : maxima) sum += m;
-  return sum / static_cast<double>(maxima.size());
+  for (std::size_t r = 0; r < k_; ++r) {
+    for (std::size_t c = 0; c < k_; ++c) {
+      sum += std::max(row_max[r], col_max[c]);
+    }
+  }
+  return sum / static_cast<double>(universe_size());
 }
 
 std::vector<double> GridQuorum::uniform_load() const {

@@ -20,6 +20,8 @@ class GridQuorum final : public QuorumSystem {
   [[nodiscard]] std::vector<Quorum> enumerate_quorums(std::size_t limit) const override;
   [[nodiscard]] Quorum best_quorum(std::span<const double> values) const override;
   [[nodiscard]] double expected_max_uniform(std::span<const double> values) const override;
+  [[nodiscard]] double expected_max_uniform_scratch(
+      std::span<const double> values, std::vector<double>& scratch) const override;
   [[nodiscard]] std::vector<double> uniform_load() const override;
   [[nodiscard]] double optimal_load() const noexcept override;
   [[nodiscard]] std::vector<Quorum> sample_quorums(std::size_t count,

@@ -15,6 +15,7 @@ MajorityQuorum::MajorityQuorum(std::size_t universe_size, std::size_t quorum_siz
   if (2 * q_ <= n_) {
     throw std::invalid_argument{"MajorityQuorum: 2q must exceed n for intersection"};
   }
+  weights_ = max_order_weights(n_, q_);
 }
 
 std::string MajorityQuorum::name() const {
@@ -48,6 +49,16 @@ double MajorityQuorum::expected_max_uniform(std::span<const double> values) cons
   check_values_size(*this, values);
   return expected_max_uniform_subset(values, q_);
 }
+
+double MajorityQuorum::expected_max_uniform_scratch(std::span<const double> values,
+                                                    std::vector<double>& scratch) const {
+  check_values_size(*this, values);
+  scratch.assign(values.begin(), values.end());
+  std::sort(scratch.begin(), scratch.end());
+  return expected_max_sorted(scratch, weights_);
+}
+
+std::span<const double> MajorityQuorum::order_stat_weights() const { return weights_; }
 
 std::vector<double> MajorityQuorum::uniform_load() const {
   // Each element is in a C(n-1, q-1) / C(n, q) = q/n fraction of quorums.

@@ -26,6 +26,9 @@ class MajorityQuorum final : public QuorumSystem {
   [[nodiscard]] std::vector<Quorum> enumerate_quorums(std::size_t limit) const override;
   [[nodiscard]] Quorum best_quorum(std::span<const double> values) const override;
   [[nodiscard]] double expected_max_uniform(std::span<const double> values) const override;
+  [[nodiscard]] double expected_max_uniform_scratch(
+      std::span<const double> values, std::vector<double>& scratch) const override;
+  [[nodiscard]] std::span<const double> order_stat_weights() const override;
   [[nodiscard]] std::vector<double> uniform_load() const override;
   [[nodiscard]] double optimal_load() const noexcept override;
   [[nodiscard]] std::vector<Quorum> sample_quorums(std::size_t count,
@@ -37,6 +40,10 @@ class MajorityQuorum final : public QuorumSystem {
  private:
   std::size_t n_;
   std::size_t q_;
+  /// Cached order-statistic weights (program-lifetime storage), resolved
+  /// once at construction so the evaluation hot path never takes the
+  /// weight-cache lock.
+  std::span<const double> weights_;
 };
 
 /// The paper's three Majority families, by fault threshold t >= 1.

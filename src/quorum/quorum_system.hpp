@@ -53,6 +53,23 @@ class QuorumSystem {
   /// E[ max_{u in Q} values[u] ] for Q drawn uniformly over all quorums.
   [[nodiscard]] virtual double expected_max_uniform(std::span<const double> values) const = 0;
 
+  /// Allocation-free expected_max_uniform: systems that need working space
+  /// (copy-and-sort, row/column maxima) take it from `scratch` instead of
+  /// allocating per call. Identical result to expected_max_uniform; the
+  /// default forwards to it. Hot loops (placement search, delta evaluation)
+  /// reuse one scratch vector across millions of calls.
+  [[nodiscard]] virtual double expected_max_uniform_scratch(
+      std::span<const double> values, std::vector<double>& scratch) const {
+    (void)scratch;
+    return expected_max_uniform(values);
+  }
+
+  /// When the uniform quorum distribution is exchangeable in the elements
+  /// (E[max] depends only on the multiset of values, as for Majority), the
+  /// per-rank weights w such that E[max] = dot(sorted_ascending(values), w).
+  /// Empty span otherwise. Enables the order-statistic delta fast path.
+  [[nodiscard]] virtual std::span<const double> order_stat_weights() const { return {}; }
+
   /// load(u) under the uniform access strategy, for each element.
   [[nodiscard]] virtual std::vector<double> uniform_load() const = 0;
 

@@ -16,6 +16,11 @@ double SingletonQuorum::expected_max_uniform(std::span<const double> values) con
   return values[0];
 }
 
+std::span<const double> SingletonQuorum::order_stat_weights() const {
+  static const std::vector<double> weights{1.0};
+  return weights;
+}
+
 std::vector<double> SingletonQuorum::uniform_load() const { return {1.0}; }
 
 std::vector<Quorum> SingletonQuorum::sample_quorums(std::size_t count,

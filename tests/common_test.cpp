@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 #include <set>
 #include <vector>
 
 #include "common/combinatorics.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace qp::common {
 namespace {
@@ -274,6 +278,96 @@ TEST(Combinatorics, AllSubsetsEdgeCases) {
   EXPECT_EQ(all_subsets(4, 4).size(), 1u);
   EXPECT_TRUE(all_subsets(3, 4).empty());
   EXPECT_THROW((void)all_subsets(100, 50), std::invalid_argument);
+}
+
+TEST(Combinatorics, BinomialRatioRowPinsDirectComputation) {
+  // The memoized CDF rows feeding the order-statistic fast path must equal
+  // the direct (uncached) computation exactly, including the zero prefix and
+  // the row[n] == 1 terminal value.
+  for (const auto& [n, k] : {std::pair<std::size_t, std::size_t>{10, 4},
+                             {49, 25},
+                             {161, 80},
+                             {7, 7},
+                             {5, 1}}) {
+    const std::vector<double>& row = binomial_ratio_row(n, k);
+    ASSERT_EQ(row.size(), n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      EXPECT_EQ(row[i], binomial_ratio(i, n, k)) << "n=" << n << " k=" << k << " i=" << i;
+    }
+    EXPECT_DOUBLE_EQ(row[n], 1.0);
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(row[i], 0.0);
+  }
+}
+
+TEST(Combinatorics, BinomialRatioRowReturnsStableReference) {
+  const std::vector<double>& first = binomial_ratio_row(12, 5);
+  // Populating other rows must not invalidate or move the first.
+  for (std::size_t n = 2; n < 40; ++n) (void)binomial_ratio_row(n, n / 2 + 1);
+  const std::vector<double>& again = binomial_ratio_row(12, 5);
+  EXPECT_EQ(&first, &again);
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(3, 8, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool{2};
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool{3};
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, 8, [&](std::size_t outer) {
+    pool.parallel_for(0, 8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesBodyExceptions) {
+  ThreadPool pool{2};
+  EXPECT_THROW(pool.parallel_for(0, 16,
+                                 [&](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error{"boom"};
+                                 }),
+               std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool{2};
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 100, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton) {
+  EXPECT_EQ(&global_thread_pool(), &global_thread_pool());
+  EXPECT_GE(global_thread_pool().thread_count(), 1u);
 }
 
 TEST(Combinatorics, SplitMixIsStable) {

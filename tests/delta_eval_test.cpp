@@ -1,0 +1,243 @@
+// Parity suite for the incremental evaluation subsystem: the delta and
+// workspace paths must match the naive objective to 1e-9 across all four
+// quorum-system families, random matrices, and randomized move sequences —
+// and the parallel neighborhood scan must pick the exact same move as the
+// serial one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/delta_eval.hpp"
+#include "core/eval_workspace.hpp"
+#include "core/local_search.hpp"
+#include "core/placement.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/fpp.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/quorum_system.hpp"
+#include "quorum/tree.hpp"
+
+namespace qp::core {
+namespace {
+
+using net::LatencyMatrix;
+
+struct SystemCase {
+  std::string label;
+  std::unique_ptr<quorum::QuorumSystem> system;
+};
+
+/// The four quorum-system families of the paper's evaluation: Majority
+/// (order-statistic delta path), Grid (row/column path), FPP and Tree
+/// (enumerated path).
+std::vector<SystemCase> all_systems() {
+  std::vector<SystemCase> cases;
+  cases.push_back({"majority", std::make_unique<quorum::MajorityQuorum>(9, 5)});
+  cases.push_back({"grid", std::make_unique<quorum::GridQuorum>(3)});
+  cases.push_back({"fpp", std::make_unique<quorum::FppQuorum>(2)});
+  cases.push_back({"tree", std::make_unique<quorum::TreeQuorum>(2)});
+  return cases;
+}
+
+Placement random_one_to_one(const LatencyMatrix& m, std::size_t universe,
+                            common::Rng& rng) {
+  return Placement{rng.sample_without_replacement(m.size(), universe)};
+}
+
+double naive_objective_if_moved(const LatencyMatrix& m, const quorum::QuorumSystem& system,
+                                Placement placement, std::size_t element,
+                                std::size_t site) {
+  placement.site_of[element] = site;
+  return average_uniform_network_delay(m, system, placement);
+}
+
+TEST(DeltaEval, MatchesNaiveObjectiveAtConstruction) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 8, 101);
+    common::Rng rng{7};
+    for (int trial = 0; trial < 5; ++trial) {
+      const Placement placement = random_one_to_one(m, n, rng);
+      const DeltaEvaluator eval{m, *test_case.system, placement};
+      const double naive = average_uniform_network_delay(m, *test_case.system, placement);
+      EXPECT_NEAR(eval.objective(), naive, 1e-9 * std::max(1.0, naive))
+          << test_case.label << " trial " << trial;
+    }
+  }
+}
+
+TEST(DeltaEval, CandidateMovesMatchNaiveAcrossAllSystems) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 10, 211);
+    common::Rng rng{13};
+    const Placement placement = random_one_to_one(m, n, rng);
+    const DeltaEvaluator eval{m, *test_case.system, placement};
+    // Every (element, site) candidate, including no-op moves to the current
+    // site and moves onto sites used by other elements.
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t w = 0; w < m.size(); ++w) {
+        const double delta = eval.objective_if_moved(u, w);
+        const double naive =
+            naive_objective_if_moved(m, *test_case.system, placement, u, w);
+        EXPECT_NEAR(delta, naive, 1e-9 * std::max(1.0, naive))
+            << test_case.label << " move " << u << "->" << w;
+      }
+    }
+  }
+}
+
+TEST(DeltaEval, RandomizedMoveSequencesStayInParity) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 12, 307);
+    common::Rng rng{29};
+    Placement placement = random_one_to_one(m, n, rng);
+    DeltaEvaluator eval{m, *test_case.system, placement};
+    for (int step = 0; step < 20; ++step) {
+      const std::size_t u = static_cast<std::size_t>(rng.below(n));
+      const std::size_t w = static_cast<std::size_t>(rng.below(m.size()));
+      const double predicted = eval.objective_if_moved(u, w);
+      eval.apply_move(u, w);
+      placement.site_of[u] = w;
+      const double naive = average_uniform_network_delay(m, *test_case.system, placement);
+      EXPECT_NEAR(predicted, naive, 1e-9 * std::max(1.0, naive))
+          << test_case.label << " step " << step;
+      EXPECT_NEAR(eval.objective(), naive, 1e-9 * std::max(1.0, naive))
+          << test_case.label << " step " << step;
+    }
+  }
+}
+
+TEST(DeltaEval, RandomMatricesManyTrials) {
+  // Random matrices: several seeds, Majority + Grid (the two analytic
+  // delta paths), every candidate move checked against the naive objective.
+  for (std::uint64_t seed : {401u, 402u, 403u}) {
+    const LatencyMatrix m = net::small_synth(15, seed);
+    common::Rng rng{seed};
+    const quorum::MajorityQuorum majority{7, 4};
+    const quorum::GridQuorum grid{2};
+    for (const quorum::QuorumSystem* system :
+         {static_cast<const quorum::QuorumSystem*>(&majority),
+          static_cast<const quorum::QuorumSystem*>(&grid)}) {
+      const std::size_t n = system->universe_size();
+      const Placement placement = random_one_to_one(m, n, rng);
+      const DeltaEvaluator eval{m, *system, placement};
+      for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t w = 0; w < m.size(); ++w) {
+          const double naive = naive_objective_if_moved(m, *system, placement, u, w);
+          EXPECT_NEAR(eval.objective_if_moved(u, w), naive, 1e-9 * std::max(1.0, naive))
+              << system->name() << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(DeltaEval, WorkspaceEvaluationMatchesPublicEntryPoint) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 6, 503);
+    common::Rng rng{31};
+    const Placement placement = random_one_to_one(m, n, rng);
+    EvalWorkspace workspace;
+    const double ws =
+        average_uniform_network_delay_ws(m, *test_case.system, placement, workspace);
+    const double naive = average_uniform_network_delay(m, *test_case.system, placement);
+    EXPECT_DOUBLE_EQ(ws, naive) << test_case.label;
+  }
+}
+
+TEST(DeltaEvalLocalSearch, DeltaEngineMatchesNaiveEngine) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 9, 601);
+    common::Rng rng{43};
+    const Placement initial = random_one_to_one(m, n, rng);
+
+    LocalSearchOptions naive_options;
+    naive_options.engine = LocalSearchEngine::Naive;
+    const LocalSearchResult naive =
+        local_search_placement(m, *test_case.system, initial, naive_options);
+
+    LocalSearchOptions delta_options;
+    delta_options.engine = LocalSearchEngine::Delta;
+    delta_options.threads = 1;
+    const LocalSearchResult delta =
+        local_search_placement(m, *test_case.system, initial, delta_options);
+
+    EXPECT_EQ(delta.placement.site_of, naive.placement.site_of) << test_case.label;
+    EXPECT_EQ(delta.moves, naive.moves) << test_case.label;
+    EXPECT_NEAR(delta.objective, naive.objective, 1e-9 * std::max(1.0, naive.objective))
+        << test_case.label;
+  }
+}
+
+TEST(DeltaEvalLocalSearch, ParallelScanReturnsSameMovesAsSerial) {
+  // The determinism guarantee: any thread count yields the identical move
+  // sequence and bit-identical objective.
+  const LatencyMatrix m = net::small_synth(24, 701);
+  const quorum::GridQuorum grid{3};
+  common::Rng rng{53};
+  const Placement initial = random_one_to_one(m, grid.universe_size(), rng);
+
+  LocalSearchOptions serial;
+  serial.threads = 1;
+  const LocalSearchResult reference = local_search_placement(m, grid, initial, serial);
+
+  for (std::size_t threads : {std::size_t{0}, std::size_t{2}, std::size_t{5}}) {
+    LocalSearchOptions parallel;
+    parallel.threads = threads;
+    const LocalSearchResult result = local_search_placement(m, grid, initial, parallel);
+    EXPECT_EQ(result.placement.site_of, reference.placement.site_of)
+        << "threads=" << threads;
+    EXPECT_EQ(result.moves, reference.moves) << "threads=" << threads;
+    EXPECT_EQ(result.objective, reference.objective) << "threads=" << threads;
+  }
+}
+
+TEST(DeltaEvalLocalSearch, ParallelBestPlacementMatchesSerialReference) {
+  const LatencyMatrix m = net::small_synth(20, 809);
+  const quorum::MajorityQuorum majority{5, 3};
+  // Hand-rolled serial scan with the historical tie-breaking.
+  PlacementSearchResult expected;
+  expected.avg_network_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t v0 = 0; v0 < m.size(); ++v0) {
+    Placement placement = majority_ball_placement(m, majority.universe_size(), v0);
+    const double delay = average_uniform_network_delay(m, majority, placement);
+    if (delay < expected.avg_network_delay) {
+      expected.avg_network_delay = delay;
+      expected.anchor_client = v0;
+      expected.placement = std::move(placement);
+    }
+  }
+  const PlacementSearchResult actual = best_majority_placement(m, majority);
+  EXPECT_EQ(actual.anchor_client, expected.anchor_client);
+  EXPECT_EQ(actual.placement.site_of, expected.placement.site_of);
+  EXPECT_EQ(actual.avg_network_delay, expected.avg_network_delay);
+}
+
+TEST(DeltaEval, RejectsMismatchedPlacement) {
+  const LatencyMatrix m = net::small_synth(10, 907);
+  const quorum::GridQuorum grid{2};
+  const Placement wrong_size{{0, 1, 2}};  // Grid(2x2) needs 4 elements.
+  EXPECT_THROW((DeltaEvaluator{m, grid, wrong_size}), std::invalid_argument);
+}
+
+TEST(DeltaEval, ApplyMoveRejectsOutOfRange) {
+  const LatencyMatrix m = net::small_synth(10, 911);
+  const quorum::GridQuorum grid{2};
+  common::Rng rng{3};
+  DeltaEvaluator eval{m, grid, random_one_to_one(m, 4, rng)};
+  EXPECT_THROW(eval.apply_move(99, 0), std::out_of_range);
+  EXPECT_THROW(eval.apply_move(0, 99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace qp::core
