@@ -1,6 +1,6 @@
-// Evaluation-kernel benchmark: quantifies the three layers of the
-// allocation-free evaluation subsystem on the paper's n=49 configurations
-// (Grid 7x7 and Majority 25/49) over a 200-client topology:
+// Evaluation-kernel benchmark: quantifies the layers of the allocation-free
+// evaluation subsystem on the paper's n=49 configurations (Grid 7x7 and
+// Majority 25/49) over a 200-client topology:
 //   * naive objective        — the seed code path: per-client allocation +
 //                              copy + sort (+ lgamma-based CDF before the
 //                              weight cache) per evaluation;
@@ -8,21 +8,29 @@
 //                              weights (average_uniform_network_delay_ws);
 //   * delta candidate        — DeltaEvaluator::objective_if_moved, O(log n)
 //                              or O(k) per client instead of a full rebuild;
-//   * local search           — naive vs delta engines end-to-end, plus the
-//                              parallel neighborhood scan.
-// The headline counter is speedup_vs_naive for delta local search, which the
-// acceptance criteria pin at >= 5x.
+//   * local search           — naive vs delta engines end-to-end, for both
+//                              the network-delay (alpha = 0) and load-aware
+//                              (alpha > 0) objectives, plus the parallel
+//                              neighborhood scan and the first-improvement
+//                              accept strategy;
+//   * simd kernels           — the common/simd_kernels.hpp reductions every
+//                              per-client evaluation bottoms out in.
+// The headline counters are speedup_vs_naive for delta local search, which
+// the acceptance criteria pin at >= 5x for alpha = 0 AND alpha > 0.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/simd_kernels.hpp"
 #include "core/delta_eval.hpp"
 #include "core/eval_workspace.hpp"
 #include "core/local_search.hpp"
+#include "core/objective.hpp"
 #include "core/placement.hpp"
 #include "net/synthetic.hpp"
 #include "quorum/grid.hpp"
@@ -76,9 +84,11 @@ int main(int argc, char** argv) {
   configs.push_back(Config{"maj49", &majority,
                            core::Placement{rng.sample_without_replacement(matrix.size(), 49)}});
 
-  // --- Headline comparison: naive vs delta local search, identical rounds.
-  // Two rounds bound the naive runtime while exercising a full neighborhood
-  // scan per round (49 elements x 151 free sites x 200 clients).
+  // --- Headline comparison: naive vs delta local search, identical rounds,
+  // for both objectives. Two rounds bound the naive runtime while exercising
+  // a full neighborhood scan per round (49 elements x 151 free sites x 200
+  // clients). alpha = 0.007 * 4000 matches the §7 mid-demand level.
+  const core::LoadAwareObjective load_aware = core::LoadAwareObjective::for_demand(4000.0);
   core::LocalSearchOptions naive_options;
   naive_options.engine = core::LocalSearchEngine::Naive;
   naive_options.max_rounds = 2;
@@ -91,6 +101,7 @@ int main(int argc, char** argv) {
 
   struct Row {
     std::string config;
+    std::string objective;
     double naive_ms;
     double delta_ms;
     double parallel_ms;
@@ -98,30 +109,89 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
   for (const Config& config : configs) {
-    const double naive_ms =
-        time_local_search_ms(matrix, *config.system, config.placement, naive_options);
-    const double delta_ms =
-        time_local_search_ms(matrix, *config.system, config.placement, delta_options);
-    const double parallel_ms =
-        time_local_search_ms(matrix, *config.system, config.placement, parallel_options);
-    rows.push_back(Row{config.label, naive_ms, delta_ms, parallel_ms,
-                       naive_ms / delta_ms});
+    for (const core::Objective* objective :
+         {&core::network_delay_objective(),
+          static_cast<const core::Objective*>(&load_aware)}) {
+      core::LocalSearchOptions naive_obj = naive_options;
+      core::LocalSearchOptions delta_obj = delta_options;
+      core::LocalSearchOptions parallel_obj = parallel_options;
+      naive_obj.objective = delta_obj.objective = parallel_obj.objective = objective;
+      const std::string label = objective->alpha() == 0.0 ? "alpha0" : "load_aware";
+      const double naive_ms =
+          time_local_search_ms(matrix, *config.system, config.placement, naive_obj);
+      const double delta_ms =
+          time_local_search_ms(matrix, *config.system, config.placement, delta_obj);
+      const double parallel_ms =
+          time_local_search_ms(matrix, *config.system, config.placement, parallel_obj);
+      rows.push_back(Row{config.label, label, naive_ms, delta_ms, parallel_ms,
+                         naive_ms / delta_ms});
+    }
   }
 
   std::cout << "# Evaluation kernels: naive vs workspace vs delta (200 clients, n=49)\n"
-            << "config,naive_search_ms,delta_search_ms,parallel_search_ms,speedup_vs_naive\n";
+            << "config,objective,naive_search_ms,delta_search_ms,parallel_search_ms,"
+               "speedup_vs_naive\n";
   for (const Row& row : rows) {
-    std::cout << row.config << ',' << row.naive_ms << ',' << row.delta_ms << ','
-              << row.parallel_ms << ',' << row.speedup << '\n';
+    std::cout << row.config << ',' << row.objective << ',' << row.naive_ms << ','
+              << row.delta_ms << ',' << row.parallel_ms << ',' << row.speedup << '\n';
   }
 
   for (const Row& row : rows) {
     qp::bench::register_point(
-        "EvalKernels/local_search_speedup/" + row.config, [row](benchmark::State& state) {
+        "EvalKernels/local_search_speedup/" + row.config + "/" + row.objective,
+        [row](benchmark::State& state) {
           state.counters["naive_ms"] = row.naive_ms;
           state.counters["delta_ms"] = row.delta_ms;
           state.counters["parallel_ms"] = row.parallel_ms;
           state.counters["speedup_vs_naive"] = row.speedup;
+        });
+  }
+
+  // --- Accept strategies: best- vs first-improvement to a full local
+  // optimum (delta engine, serial scan, network-delay objective).
+  struct StrategyRow {
+    std::string config;
+    double best_ms;
+    double first_ms;
+    std::size_t best_moves;
+    std::size_t first_moves;
+  };
+  std::vector<StrategyRow> strategy_rows;
+  for (const Config& config : configs) {
+    core::LocalSearchOptions best;
+    best.threads = 1;
+    best.max_rounds = 1000;  // Both strategies run to a genuine local optimum.
+    core::LocalSearchOptions first = best;
+    first.strategy = core::LocalSearchStrategy::FirstImprovement;
+    const auto best_start = std::chrono::steady_clock::now();
+    const core::LocalSearchResult best_result =
+        core::local_search_placement(matrix, *config.system, config.placement, best);
+    const double best_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - best_start)
+                               .count();
+    const auto first_start = std::chrono::steady_clock::now();
+    const core::LocalSearchResult first_result =
+        core::local_search_placement(matrix, *config.system, config.placement, first);
+    const double first_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - first_start)
+                                .count();
+    strategy_rows.push_back(StrategyRow{config.label, best_ms, first_ms,
+                                        best_result.moves, first_result.moves});
+  }
+
+  std::cout << "# Accept strategies: best vs first improvement (delta engine)\n"
+            << "config,best_ms,first_ms,best_moves,first_moves\n";
+  for (const StrategyRow& row : strategy_rows) {
+    std::cout << row.config << ',' << row.best_ms << ',' << row.first_ms << ','
+              << row.best_moves << ',' << row.first_moves << '\n';
+  }
+  for (const StrategyRow& row : strategy_rows) {
+    qp::bench::register_point(
+        "EvalKernels/accept_strategy/" + row.config, [row](benchmark::State& state) {
+          state.counters["best_ms"] = row.best_ms;
+          state.counters["first_ms"] = row.first_ms;
+          state.counters["best_moves"] = static_cast<double>(row.best_moves);
+          state.counters["first_moves"] = static_cast<double>(row.first_moves);
         });
   }
 
@@ -154,6 +224,41 @@ int main(int argc, char** argv) {
             site = (site + 1) % matrix.size();
             element = (element + 1) % config.placement.universe_size();
             benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("EvalKernels/delta_candidate_load_aware/" + config.label).c_str(),
+        [&matrix, &config, &load_aware](benchmark::State& state) {
+          const core::DeltaEvaluator eval{matrix, *config.system, config.placement,
+                                          load_aware};
+          std::size_t site = 0;
+          std::size_t element = 0;
+          for (auto _ : state) {
+            site = (site + 1) % matrix.size();
+            element = (element + 1) % config.placement.universe_size();
+            benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+          }
+        });
+  }
+
+  // --- The vectorized reduction kernels the evaluations bottom out in.
+  {
+    common::Rng kernel_rng{11};
+    auto values = std::make_shared<std::vector<double>>(4096);
+    auto weights = std::make_shared<std::vector<double>>(4096);
+    for (double& x : *values) x = kernel_rng.uniform();
+    for (double& x : *weights) x = kernel_rng.uniform();
+    benchmark::RegisterBenchmark(
+        "EvalKernels/simd_max_reduce/4096", [values](benchmark::State& state) {
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(common::max_reduce(*values));
+          }
+        });
+    benchmark::RegisterBenchmark(
+        "EvalKernels/simd_weighted_dot/4096",
+        [values, weights](benchmark::State& state) {
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(common::weighted_dot(*values, *weights));
           }
         });
   }

@@ -1,0 +1,77 @@
+// Large-topology figure (beyond the paper's §7): constructive placements vs
+// load-aware local optima on daxlist-161 (n = 49, 161 clients) and the
+// synthetic 500-site scenario, both with power-law client demand. Exercises
+// the whole new stack end-to-end: scenario generator -> objective-scored
+// constructive placement -> load-aware incremental local search -> figure
+// rows. The local-opt rows quantify how much response time the paper's
+// constructions leave on the table once load matters; stage_ms records the
+// wall-clock the DeltaEvaluator engine needs at 500 sites.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/delta_eval.hpp"
+#include "core/objective.hpp"
+#include "core/placement.hpp"
+#include "eval/figures.hpp"
+#include "eval/sweeps.hpp"
+#include "quorum/grid.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace qp;
+
+const sim::Scenario& synth500() {
+  static const sim::Scenario scenario = sim::synthetic500_scenario();
+  return scenario;
+}
+
+// Timing kernel: one load-aware candidate evaluation on the 500-site
+// scenario (Grid 7x7) — the inner operation the local search performs
+// ~22k times per round.
+void BM_LoadAwareDeltaCandidate500(benchmark::State& state) {
+  const sim::Scenario& scenario = synth500();
+  const quorum::GridQuorum grid{7};
+  const core::LoadAwareObjective objective =
+      core::LoadAwareObjective::for_demand(scenario.mean_demand());
+  const core::Placement placement =
+      core::best_grid_placement(scenario.matrix, 7).placement;
+  const core::DeltaEvaluator eval{scenario.matrix, grid, placement, objective};
+  std::size_t site = 0;
+  std::size_t element = 0;
+  for (auto _ : state) {
+    site = (site + 1) % scenario.matrix.size();
+    element = (element + 1) % placement.universe_size();
+    benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+  }
+}
+BENCHMARK(BM_LoadAwareDeltaCandidate500)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "# Large topologies: constructive vs load-aware local optimum\n";
+  std::vector<eval::LargeTopologyPoint> points;
+  const sim::Scenario daxlist = sim::daxlist161_scenario();
+  for (const sim::Scenario* scenario : {&daxlist, &synth500()}) {
+    const auto rows = eval::large_topology_sweep(*scenario);
+    points.insert(points.end(), rows.begin(), rows.end());
+  }
+  eval::print_csv(std::cout, points);
+
+  for (const auto& p : points) {
+    qp::bench::register_point(
+        "LargeTopology/" + p.scenario + "/" + p.system + "/" + p.stage,
+        [p](benchmark::State& state) {
+          state.counters["response_ms"] = p.response_ms;
+          state.counters["network_delay_ms"] = p.network_delay_ms;
+          state.counters["moves"] = static_cast<double>(p.moves);
+          state.counters["stage_ms"] = p.stage_ms;
+        });
+  }
+  return qp::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Merge the output directories of sharded bench/run_all.sh runs.
+
+Usage:
+    bench/merge_shards.py MERGED_DIR SHARD_DIR [SHARD_DIR ...]
+
+Each shard directory holds BENCH_<figure>.json (google-benchmark JSON) and
+<figure>.csv files for the figure binaries that shard ran. Shards normally
+produce disjoint figures, but the merge also handles overlapping files:
+
+  * BENCH_*.json — "benchmarks" entries are concatenated, deduplicated by
+    benchmark name (first occurrence wins); the first shard's "context" is
+    kept and a warning is printed if another shard's git_sha differs (mixed
+    revisions make the numbers non-comparable).
+  * *.csv        — first occurrence wins. Figure CSVs embed wall-clock
+    columns, so two runs of the same figure are never byte-identical; a
+    differing duplicate therefore only warns (matching the JSON side)
+    instead of failing the merge.
+
+Exit status is non-zero on malformed JSON or no inputs.
+"""
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+
+def merge_json(target: Path, source: Path) -> None:
+    with source.open() as fh:
+        incoming = json.load(fh)
+    if not target.exists():
+        with target.open("w") as fh:
+            json.dump(incoming, fh, indent=1)
+            fh.write("\n")
+        return
+    with target.open() as fh:
+        merged = json.load(fh)
+    kept_sha = merged.get("context", {}).get("git_sha")
+    incoming_sha = incoming.get("context", {}).get("git_sha")
+    if kept_sha and incoming_sha and kept_sha != incoming_sha:
+        print(
+            f"warning: {source} git_sha {incoming_sha} differs from merged "
+            f"{kept_sha}; numbers may not be comparable",
+            file=sys.stderr,
+        )
+    seen = {b.get("name") for b in merged.get("benchmarks", [])}
+    for bench in incoming.get("benchmarks", []):
+        if bench.get("name") not in seen:
+            merged.setdefault("benchmarks", []).append(bench)
+            seen.add(bench.get("name"))
+    with target.open("w") as fh:
+        json.dump(merged, fh, indent=1)
+        fh.write("\n")
+
+
+def merge_csv(target: Path, source: Path) -> None:
+    if not target.exists():
+        shutil.copyfile(source, target)
+        return
+    if target.read_bytes() != source.read_bytes():
+        print(
+            f"warning: {source} differs from already-merged {target.name}; "
+            f"keeping the first (timing columns differ between runs; check "
+            f"the figure data columns if this is unexpected)",
+            file=sys.stderr,
+        )
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    merged_dir = Path(argv[1])
+    merged_dir.mkdir(parents=True, exist_ok=True)
+    merged_files = 0
+    for shard in map(Path, argv[2:]):
+        if not shard.is_dir():
+            raise SystemExit(f"error: shard directory {shard} does not exist")
+        for source in sorted(shard.glob("BENCH_*.json")):
+            merge_json(merged_dir / source.name, source)
+            merged_files += 1
+        for source in sorted(shard.glob("*.csv")):
+            merge_csv(merged_dir / source.name, source)
+    if merged_files == 0:
+        raise SystemExit("error: no BENCH_*.json files found in the shard dirs")
+    print(f"Merged {merged_files} JSON files into {merged_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

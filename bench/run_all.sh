@@ -3,15 +3,59 @@
 # BENCH_<name>.json (google-benchmark JSON) plus the figure's CSV series
 # per binary.  Seeds the perf trajectory the ROADMAP north-star tracks.
 #
-# Usage:  bench/run_all.sh [output-dir]
+# Usage:  bench/run_all.sh [output-dir] [--shard K/N]
+#   --shard K/N    run only the K-th of N shards (1-based): every N-th
+#                  figure binary, interleaved, so N hosts (or processes) can
+#                  split the sweep and later combine their output dirs with
+#                  bench/merge_shards.py. Current granularity is one figure
+#                  per shard slot; per-point sharding is the recorded
+#                  follow-on.
 #   BUILD_DIR=...  override the build tree (default: build/release)
 #   FILTER=regex   only run benchmarks whose name matches the regex
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-OUT_DIR="${1:-${ROOT}/bench/results}"
 BUILD_DIR="${BUILD_DIR:-${ROOT}/build/release}"
 FILTER="${FILTER:-}"
+
+OUT_DIR=""
+SHARD=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --shard)
+      SHARD="${2:?--shard requires K/N}"
+      shift 2
+      ;;
+    --shard=*)
+      SHARD="${1#--shard=}"
+      shift
+      ;;
+    *)
+      if [[ -n "${OUT_DIR}" ]]; then
+        echo "error: unexpected argument '$1'" >&2
+        exit 1
+      fi
+      OUT_DIR="$1"
+      shift
+      ;;
+  esac
+done
+OUT_DIR="${OUT_DIR:-${ROOT}/bench/results}"
+
+SHARD_K=1
+SHARD_N=1
+if [[ -n "${SHARD}" ]]; then
+  if [[ ! "${SHARD}" =~ ^([0-9]+)/([0-9]+)$ ]]; then
+    echo "error: --shard expects K/N (e.g. --shard 2/4), got '${SHARD}'" >&2
+    exit 1
+  fi
+  SHARD_K="${BASH_REMATCH[1]}"
+  SHARD_N="${BASH_REMATCH[2]}"
+  if (( SHARD_N < 1 || SHARD_K < 1 || SHARD_K > SHARD_N )); then
+    echo "error: --shard K/N requires 1 <= K <= N" >&2
+    exit 1
+  fi
+fi
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S "${ROOT}" \
@@ -43,10 +87,17 @@ BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' "${BUILD_DIR}/CMakeCache.t
 
 benches=("${BUILD_DIR}"/bench/*)
 ran=0
+slot=0
 for bin in "${benches[@]}"; do
   [[ -f "${bin}" && -x "${bin}" ]] || continue
   name="$(basename "${bin}")"
   if [[ -n "${FILTER}" && ! "${name}" =~ ${FILTER} ]]; then
+    continue
+  fi
+  # Interleaved shard assignment over the (sorted, filtered) binary list, so
+  # every shard sees the same numbering regardless of which host runs it.
+  slot=$((slot + 1))
+  if (( (slot - 1) % SHARD_N != SHARD_K - 1 )); then
     continue
   fi
   echo "== ${name}"
@@ -63,8 +114,14 @@ for bin in "${benches[@]}"; do
 done
 
 if [[ "${ran}" -eq 0 ]]; then
-  echo "error: no benchmark binaries found under ${BUILD_DIR}/bench" >&2
+  echo "error: no benchmark binaries matched under ${BUILD_DIR}/bench" >&2
+  echo "       (shard ${SHARD_K}/${SHARD_N}, filter '${FILTER}')" >&2
   exit 1
 fi
 
-echo "Wrote ${ran} BENCH_*.json files to ${OUT_DIR}"
+if (( SHARD_N > 1 )); then
+  echo "Wrote ${ran} BENCH_*.json files to ${OUT_DIR} (shard ${SHARD_K}/${SHARD_N})"
+  echo "Combine shard output dirs with: bench/merge_shards.py <merged-dir> <shard-dir>..."
+else
+  echo "Wrote ${ran} BENCH_*.json files to ${OUT_DIR}"
+fi

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/simd_kernels.hpp"
 #include "quorum/grid.hpp"
 
 namespace qp::core {
@@ -18,13 +19,23 @@ constexpr std::size_t kEnumerationLimit = 50'000;
 
 DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
                                const quorum::QuorumSystem& system,
-                               const Placement& placement)
-    : matrix_(&matrix), system_(&system), placement_(placement), mode_(Mode::Recompute) {
+                               const Placement& placement, const Objective& objective)
+    : matrix_(&matrix),
+      system_(&system),
+      objective_(&objective),
+      placement_(placement),
+      mode_(Mode::Recompute) {
   placement_.validate(matrix.size());
   clients_ = matrix.size();
   n_ = placement_.universe_size();
   if (n_ != system.universe_size()) {
     throw std::invalid_argument{"DeltaEvaluator: placement size != universe size"};
+  }
+  alpha_ = objective.alpha();
+  lambda_ = objective.element_loads(system);
+  load_aware_ = alpha_ != 0.0 && !lambda_.empty();
+  if (load_aware_ && lambda_.size() != n_) {
+    throw std::logic_error{"DeltaEvaluator: element_loads size mismatch"};
   }
   weights_ = system.order_stat_weights();
   if (!weights_.empty()) {
@@ -46,11 +57,42 @@ DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
   rebuild();
 }
 
+DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
+                               const quorum::QuorumSystem& system,
+                               const Placement& placement)
+    : DeltaEvaluator(matrix, system, placement, network_delay_objective()) {}
+
 double DeltaEvaluator::objective() const noexcept {
   return base_total_ / static_cast<double>(clients_);
 }
 
+void DeltaEvaluator::gather_values(std::size_t v, double* out) const {
+  const std::vector<double>& rtt = matrix_->row(v);
+  if (!load_aware_) {
+    for (std::size_t u = 0; u < n_; ++u) out[u] = rtt[placement_.site_of[u]];
+    return;
+  }
+  for (std::size_t u = 0; u < n_; ++u) {
+    const std::size_t site = placement_.site_of[u];
+    out[u] = rtt[site] + site_term_[site];
+  }
+}
+
 void DeltaEvaluator::rebuild() {
+  if (load_aware_) {
+    // Per-site load tables, recomputed from scratch so drift cannot
+    // accumulate across moves.
+    site_load_.assign(matrix_->size(), 0.0);
+    hosted_count_.assign(matrix_->size(), 0);
+    for (std::size_t u = 0; u < n_; ++u) {
+      site_load_[placement_.site_of[u]] += lambda_[u];
+      ++hosted_count_[placement_.site_of[u]];
+    }
+    site_term_.resize(matrix_->size());
+    for (std::size_t w = 0; w < site_term_.size(); ++w) {
+      site_term_[w] = alpha_ * site_load_[w];
+    }
+  }
   client_sum_.resize(clients_);
   base_total_ = 0.0;
   switch (mode_) {
@@ -60,9 +102,8 @@ void DeltaEvaluator::rebuild() {
       shift_down_.resize(clients_ * (n_ + 1));
       const double* w = weights_.data();
       for (std::size_t v = 0; v < clients_; ++v) {
-        const std::vector<double>& rtt = matrix_->row(v);
         double* y = sorted_.data() + v * n_;
-        for (std::size_t u = 0; u < n_; ++u) y[u] = rtt[placement_.site_of[u]];
+        gather_values(v, y);
         std::sort(y, y + n_);
         double expectation = 0.0;
         for (std::size_t i = 0; i < n_; ++i) expectation += y[i] * w[i];
@@ -94,9 +135,8 @@ void DeltaEvaluator::rebuild() {
       row_quorum_sum_.resize(clients_ * k);
       col_quorum_sum_.resize(clients_ * k);
       for (std::size_t v = 0; v < clients_; ++v) {
-        const std::vector<double>& rtt = matrix_->row(v);
         double* vals = values_.data() + v * n_;
-        for (std::size_t u = 0; u < n_; ++u) vals[u] = rtt[placement_.site_of[u]];
+        gather_values(v, vals);
         double* rm = row_max_.data() + v * k;
         double* cm = col_max_.data() + v * k;
         std::fill(rm, rm + k, neg_inf);
@@ -151,9 +191,8 @@ void DeltaEvaluator::rebuild() {
       values_.resize(clients_ * n_);
       quorum_max_.resize(clients_ * count);
       for (std::size_t v = 0; v < clients_; ++v) {
-        const std::vector<double>& rtt = matrix_->row(v);
         double* vals = values_.data() + v * n_;
-        for (std::size_t u = 0; u < n_; ++u) vals[u] = rtt[placement_.site_of[u]];
+        gather_values(v, vals);
         double* qmax = quorum_max_.data() + v * count;
         double sum = 0.0;
         for (std::size_t l = 0; l < count; ++l) {
@@ -171,9 +210,8 @@ void DeltaEvaluator::rebuild() {
       values_.resize(clients_ * n_);
       std::vector<double> scratch;
       for (std::size_t v = 0; v < clients_; ++v) {
-        const std::vector<double>& rtt = matrix_->row(v);
         double* vals = values_.data() + v * n_;
-        for (std::size_t u = 0; u < n_; ++u) vals[u] = rtt[placement_.site_of[u]];
+        gather_values(v, vals);
         const double expectation = system_->expected_max_uniform_scratch(
             std::span<const double>{vals, n_}, scratch);
         client_sum_[v] = expectation;
@@ -211,16 +249,57 @@ double DeltaEvaluator::client_delta_sorted(std::size_t client, double old_value,
   return 0.0;
 }
 
+double DeltaEvaluator::objective_if_moved_general(std::size_t element,
+                                                  std::size_t site) const {
+  // The move colocates or separates elements, shifting load_f at both
+  // endpoint sites and hence the value of every element they host: patch a
+  // full per-client value vector against the post-move load terms. Thread-
+  // local buffers keep the const method allocation-free in steady state AND
+  // safe under a parallel neighborhood scan.
+  const std::size_t old_site = placement_.site_of[element];
+  static thread_local std::vector<double> tl_term;
+  static thread_local std::vector<double> tl_values;
+  static thread_local std::vector<double> tl_scratch;
+  tl_term.assign(site_term_.begin(), site_term_.end());
+  tl_term[old_site] = alpha_ * (site_load_[old_site] - lambda_[element]);
+  tl_term[site] = alpha_ * (site_load_[site] + lambda_[element]);
+  tl_values.resize(n_);
+  double total = 0.0;
+  for (std::size_t v = 0; v < clients_; ++v) {
+    const std::vector<double>& rtt = matrix_->row(v);
+    for (std::size_t u = 0; u < n_; ++u) {
+      const std::size_t s = u == element ? site : placement_.site_of[u];
+      tl_values[u] = rtt[s] + tl_term[s];
+    }
+    total += system_->expected_max_uniform_scratch(tl_values, tl_scratch);
+  }
+  return total / static_cast<double>(clients_);
+}
+
 double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site) const {
   assert(element < n_);
   assert(site < matrix_->size());
   const std::size_t old_site = placement_.site_of[element];
+  if (site == old_site) return objective();
+  // Per-coordinate additive load terms of the candidate values. The cached
+  // tables answer single-coordinate moves only; a load-aware move touching a
+  // co-hosted site perturbs other coordinates too and takes the general path.
+  double old_add = 0.0;
+  double new_add = 0.0;
+  if (load_aware_) {
+    if (hosted_count_[old_site] != 1 || hosted_count_[site] != 0) {
+      return objective_if_moved_general(element, site);
+    }
+    old_add = site_term_[old_site];
+    new_add = alpha_ * (site_load_[site] + lambda_[element]);
+  }
   double total = 0.0;
   switch (mode_) {
     case Mode::SortedWeights: {
       for (std::size_t v = 0; v < clients_; ++v) {
         const std::vector<double>& rtt = matrix_->row(v);
-        total += client_sum_[v] + client_delta_sorted(v, rtt[old_site], rtt[site]);
+        total += client_sum_[v] +
+                 client_delta_sorted(v, rtt[old_site] + old_add, rtt[site] + new_add);
       }
       break;
     }
@@ -229,20 +308,21 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
       const std::size_t r0 = element / k;
       const std::size_t c0 = element % k;
       for (std::size_t v = 0; v < clients_; ++v) {
-        const double val = matrix_->row(v)[site];
+        const double val = matrix_->row(v)[site] + new_add;
         const double* rm = row_max_.data() + v * k;
         const double* cm = col_max_.data() + v * k;
         const double new_row = std::max(row_excl_[v * n_ + element], val);
         const double new_col = std::max(col_excl_[v * n_ + element], val);
         // Only quorum maxima in row r0 or column c0 change. New row-r0 part:
         // sum_c max(new_row, cm'[c]) with cm'[c0] = new_col, via a branch-free
-        // full-row reduction corrected at c0; old part is the cached sum.
-        double row_part = std::max(new_row, new_col) - std::max(new_row, cm[c0]);
-        for (std::size_t c = 0; c < k; ++c) row_part += std::max(new_row, cm[c]);
+        // (vectorized) full-row reduction corrected at c0; old part is the
+        // cached sum.
+        const double row_part = std::max(new_row, new_col) - std::max(new_row, cm[c0]) +
+                                common::max_with_bound_sum(new_row, {cm, k});
         // New column-c0 part excluding the shared (r0, c0) cell; old part is
         // the cached column sum minus that cell.
-        double col_part = -std::max(rm[r0], new_col);
-        for (std::size_t r = 0; r < k; ++r) col_part += std::max(rm[r], new_col);
+        const double col_part = common::max_with_bound_sum(new_col, {rm, k}) -
+                                std::max(rm[r0], new_col);
         const double old_col_part =
             col_quorum_sum_[v * k + c0] - std::max(rm[r0], cm[c0]);
         const double delta =
@@ -254,7 +334,7 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
     case Mode::Enumerated: {
       const std::size_t count = quorums_.size();
       for (std::size_t v = 0; v < clients_; ++v) {
-        const double val = matrix_->row(v)[site];
+        const double val = matrix_->row(v)[site] + new_add;
         const double* vals = values_.data() + v * n_;
         const double* qmax = quorum_max_.data() + v * count;
         double delta = 0.0;
@@ -277,7 +357,7 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
       for (std::size_t v = 0; v < clients_; ++v) {
         const double* vals = values_.data() + v * n_;
         tl_values.assign(vals, vals + n_);
-        tl_values[element] = matrix_->row(v)[site];
+        tl_values[element] = matrix_->row(v)[site] + new_add;
         total += system_->expected_max_uniform_scratch(tl_values, tl_scratch);
       }
       break;
@@ -295,7 +375,7 @@ void DeltaEvaluator::apply_move(std::size_t element, std::size_t site) {
 #ifndef NDEBUG
   // Parity against the naive objective: the rebuilt base must match a full
   // re-evaluation (summation order differs, hence the tolerance).
-  const double naive = average_uniform_network_delay(*matrix_, *system_, placement_);
+  const double naive = objective_->evaluate(*matrix_, *system_, placement_);
   assert(std::abs(objective() - naive) <= 1e-9 * std::max(1.0, std::abs(naive)));
 #endif
 }

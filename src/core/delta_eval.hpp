@@ -1,11 +1,17 @@
-// Incremental ("delta") evaluation of the placement-search objective
+// Incremental ("delta") evaluation of a pluggable search objective
 //
-//   J(f) = avg_v E_uniform-Q [ max_{u in Q} d(v, f(u)) ]
+//   J(f) = avg_v E_uniform-Q [ max_{u in Q} x_f(v, u) ],
+//   x_f(v, u) = d(v, f(u)) + alpha * load_f(f(u))         (core::Objective)
 //
-// under single-element relocations f(u) <- w. Relocating one element changes
-// exactly one coordinate of every client's per-element distance vector, so
-// the objective of a candidate move can be computed from cached per-client
-// state instead of re-sorting every vector:
+// under single-element relocations f(u) <- w. For the network-delay
+// objective (alpha = 0) relocating one element changes exactly one
+// coordinate of every client's per-element value vector; the load-aware
+// objective (alpha > 0) preserves that property whenever the relocation
+// moves a solely-hosted element to an unused site (the invariant of the
+// one-to-one local search): load_f at the old site is exactly the element's
+// own lambda_u, which follows it to the new site, so only coordinate u
+// moves — by d(v,w) - d(v,a) plus the alpha-scaled load shift. The cached
+// per-client state then answers candidate moves without re-sorting:
 //
 //   * SortedWeights (Majority, Singleton — any exchangeable system exposing
 //     QuorumSystem::order_stat_weights): per-client ASCENDING-sorted value
@@ -21,17 +27,23 @@
 //   * Recompute: allocation-free full re-evaluation per client — correctness
 //     fallback for systems fitting none of the above.
 //
-// All modes return values within ~1e-12 of average_uniform_network_delay
-// (summation order differs, so bit-identity is not guaranteed), and
-// apply_move asserts that parity in debug builds. objective_if_moved is
-// const and thread-safe, so a parallel neighborhood scan may share one
-// evaluator.
+// Moves that colocate elements (either endpoint hosts anything else) shift
+// load_f at both sites and hence every colocated element's value; those fall
+// back to a per-client patched re-evaluation against the maintained per-site
+// load tables (site_load_ / hosted_count_), which apply_move updates in O(1)
+// before refreshing the cached state.
+//
+// All modes return values within ~1e-12 of Objective::evaluate (summation
+// order differs, so bit-identity is not guaranteed), and apply_move asserts
+// that parity in debug builds. objective_if_moved is const and thread-safe,
+// so a parallel neighborhood scan may share one evaluator.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "core/objective.hpp"
 #include "core/placement.hpp"
 #include "net/latency_matrix.hpp"
 #include "quorum/quorum_system.hpp"
@@ -40,12 +52,17 @@ namespace qp::core {
 
 class DeltaEvaluator {
  public:
-  /// Caches per-client state for `placement`. The matrix and system must
-  /// outlive the evaluator; the placement is copied.
+  /// Caches per-client state for `placement` under `objective`. The matrix,
+  /// system, and objective must outlive the evaluator; the placement is
+  /// copied. The two-argument form evaluates pure network delay.
+  DeltaEvaluator(const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+                 const Placement& placement, const Objective& objective);
   DeltaEvaluator(const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
                  const Placement& placement);
 
   [[nodiscard]] const Placement& placement() const noexcept { return placement_; }
+
+  [[nodiscard]] const Objective& objective_function() const noexcept { return *objective_; }
 
   /// Current objective J(f).
   [[nodiscard]] double objective() const noexcept;
@@ -62,15 +79,33 @@ class DeltaEvaluator {
   enum class Mode { SortedWeights, Grid, Enumerated, Recompute };
 
   void rebuild();
+  /// x_f(v, u) for every element into `out` (size n_).
+  void gather_values(std::size_t v, double* out) const;
+  /// Fallback for load-shifting (colocated) moves: per-client patched
+  /// re-evaluation against the post-move load tables.
+  [[nodiscard]] double objective_if_moved_general(std::size_t element,
+                                                  std::size_t site) const;
   [[nodiscard]] double client_delta_sorted(std::size_t client, double old_value,
                                            double new_value) const;
 
   const net::LatencyMatrix* matrix_;
   const quorum::QuorumSystem* system_;
+  const Objective* objective_;
   Placement placement_;
   Mode mode_;
   std::size_t clients_ = 0;
   std::size_t n_ = 0;
+
+  /// Load model state: alpha, per-element lambda_u, and the per-site tables
+  /// maintained across moves. load_aware_ is false when alpha == 0 (or the
+  /// objective has no load contributions), in which case the tables stay
+  /// empty and every code path matches the historical network-delay engine.
+  double alpha_ = 0.0;
+  bool load_aware_ = false;
+  std::span<const double> lambda_;
+  std::vector<double> site_load_;          // sites: sum of hosted lambda_u.
+  std::vector<double> site_term_;          // sites: alpha * site_load_.
+  std::vector<std::size_t> hosted_count_;  // sites: # hosted elements.
 
   /// Sum over clients of E_v, and E_v itself (or the per-client quorum-sum
   /// S_v for the Grid/Enumerated modes, see .cpp).
@@ -84,7 +119,7 @@ class DeltaEvaluator {
   std::vector<double> shift_down_;  // clients x (n+1) prefix sums.
 
   // Grid / Enumerated / Recompute modes.
-  std::vector<double> values_;   // clients x n raw per-element distances.
+  std::vector<double> values_;   // clients x n raw per-element values.
   std::size_t side_ = 0;         // Grid: k.
   std::vector<double> row_max_;  // Grid: clients x k.
   std::vector<double> col_max_;  // Grid: clients x k.

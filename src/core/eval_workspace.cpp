@@ -2,21 +2,35 @@
 
 namespace qp::core {
 
+// The fill kernels below are gathers (indexed by site_of), which baseline
+// x86-64 cannot vectorize; they are written pointer-flat so nothing else
+// blocks the optimizer. The reductions those values feed — the Majority
+// order-stat dot, the Grid row/column maxima and quorum-maxima sums — run
+// through the vectorized common/simd_kernels.hpp kernels inside each
+// QuorumSystem's expected_max_uniform_scratch.
+
 void fill_element_distances(const net::LatencyMatrix& matrix, const Placement& placement,
                             std::size_t client, std::vector<double>& out) {
-  const std::vector<double>& row = matrix.row(client);
-  out.resize(placement.universe_size());
-  for (std::size_t u = 0; u < out.size(); ++u) out[u] = row[placement.site_of[u]];
+  const double* row = matrix.row(client).data();
+  const std::size_t n = placement.universe_size();
+  out.resize(n);
+  const std::size_t* site = placement.site_of.data();
+  double* y = out.data();
+  for (std::size_t u = 0; u < n; ++u) y[u] = row[site[u]];
 }
 
 void fill_element_values(const net::LatencyMatrix& matrix, const Placement& placement,
                          std::span<const double> site_load, double alpha,
                          std::size_t client, std::vector<double>& out) {
-  const std::vector<double>& row = matrix.row(client);
-  out.resize(placement.universe_size());
-  for (std::size_t u = 0; u < out.size(); ++u) {
-    const std::size_t site = placement.site_of[u];
-    out[u] = row[site] + alpha * site_load[site];
+  const double* row = matrix.row(client).data();
+  const double* load = site_load.data();
+  const std::size_t n = placement.universe_size();
+  out.resize(n);
+  const std::size_t* site = placement.site_of.data();
+  double* y = out.data();
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::size_t w = site[u];
+    y[u] = row[w] + alpha * load[w];
   }
 }
 

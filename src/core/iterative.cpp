@@ -22,8 +22,10 @@ ExplicitStrategy common_strategy(std::vector<quorum::Quorum> quorums,
 
 IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
                                     const quorum::QuorumSystem& system,
-                                    std::span<const double> capacities, double alpha,
+                                    std::span<const double> capacities,
+                                    const Objective& objective,
                                     const IterativeOptions& options) {
+  const double alpha = objective.alpha();
   const std::vector<quorum::Quorum> quorums =
       system.enumerate_quorums(options.strategy.quorum_limit);
   const std::size_t m = quorums.size();
@@ -98,6 +100,18 @@ IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
   }
   accepted.history = std::move(result.history);
   return accepted;
+}
+
+IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
+                                    const quorum::QuorumSystem& system,
+                                    std::span<const double> capacities, double alpha,
+                                    const IterativeOptions& options) {
+  if (alpha == 0.0) {
+    return iterative_placement(matrix, system, capacities, network_delay_objective(),
+                               options);
+  }
+  const LoadAwareObjective objective{alpha};
+  return iterative_placement(matrix, system, capacities, objective, options);
 }
 
 }  // namespace qp::core

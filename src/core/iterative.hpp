@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/manytoone.hpp"
+#include "core/objective.hpp"
 #include "core/placement.hpp"
 #include "core/strategy.hpp"
 #include "net/latency_matrix.hpp"
@@ -49,11 +50,19 @@ struct IterativeResult {
   std::vector<IterationRecord> history;
 };
 
-/// Runs the alternation starting from the uniform access strategy. `alpha`
-/// is the response-model parameter used for the halting criterion (and
-/// reported measurements); `capacities` is the cap0 vector of §4.2.
-/// Throws std::runtime_error if even the first iteration fails to produce a
-/// feasible placement.
+/// Runs the alternation starting from the uniform access strategy. The
+/// objective supplies the response-model alpha used for the halting
+/// criterion (and reported measurements); `capacities` is the cap0 vector of
+/// §4.2. Throws std::runtime_error if even the first iteration fails to
+/// produce a feasible placement.
+[[nodiscard]] IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
+                                                  const quorum::QuorumSystem& system,
+                                                  std::span<const double> capacities,
+                                                  const Objective& objective,
+                                                  const IterativeOptions& options = {});
+
+/// Bare-alpha convenience: runs against NetworkDelayObjective (alpha == 0)
+/// or LoadAwareObjective{alpha}.
 [[nodiscard]] IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
                                                   const quorum::QuorumSystem& system,
                                                   std::span<const double> capacities,

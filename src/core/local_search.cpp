@@ -1,5 +1,6 @@
 #include "core/local_search.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -17,38 +18,48 @@ struct Candidate {
   std::size_t site;
 };
 
+/// Candidates a Delta first-improvement round evaluates per parallel batch.
+/// Any fixed value yields the same accepted move (the lowest improving index
+/// is batch-independent); 256 keeps a shared pool busy without evaluating
+/// far past the accepted candidate.
+constexpr std::size_t kFirstImprovementBlock = 256;
+
 LocalSearchResult local_search_naive(const net::LatencyMatrix& matrix,
                                      const quorum::QuorumSystem& system,
-                                     const Placement& initial,
+                                     const Placement& initial, const Objective& objective,
                                      const LocalSearchOptions& options) {
   LocalSearchResult result;
   result.placement = initial;
-  result.objective = average_uniform_network_delay(matrix, system, result.placement);
+  result.objective = objective.evaluate(matrix, system, result.placement);
 
   std::vector<bool> used(matrix.size(), false);
   for (std::size_t site : result.placement.site_of) used[site] = true;
 
+  const bool first_improvement =
+      options.strategy == LocalSearchStrategy::FirstImprovement;
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     double best_objective = result.objective;
     std::size_t best_element = 0;
     std::size_t best_site = 0;
     bool found = false;
-    // Best-improvement scan over all (element, unused site) relocations.
+    // Deterministic scan over all (element, unused site) relocations; the
+    // first-improvement strategy stops at the first improving candidate.
     for (std::size_t u = 0; u < result.placement.universe_size(); ++u) {
       const std::size_t original = result.placement.site_of[u];
       for (std::size_t w = 0; w < matrix.size(); ++w) {
         if (used[w]) continue;
         result.placement.site_of[u] = w;
-        const double objective =
-            average_uniform_network_delay(matrix, system, result.placement);
-        if (objective < best_objective - options.min_improvement) {
-          best_objective = objective;
+        const double candidate = objective.evaluate(matrix, system, result.placement);
+        if (candidate < best_objective - options.min_improvement) {
+          best_objective = candidate;
           best_element = u;
           best_site = w;
           found = true;
+          if (first_improvement) break;
         }
       }
       result.placement.site_of[u] = original;
+      if (found && first_improvement) break;
     }
     if (!found) break;
     used[result.placement.site_of[best_element]] = false;
@@ -62,9 +73,9 @@ LocalSearchResult local_search_naive(const net::LatencyMatrix& matrix,
 
 LocalSearchResult local_search_delta(const net::LatencyMatrix& matrix,
                                      const quorum::QuorumSystem& system,
-                                     const Placement& initial,
+                                     const Placement& initial, const Objective& objective,
                                      const LocalSearchOptions& options) {
-  DeltaEvaluator eval{matrix, system, initial};
+  DeltaEvaluator eval{matrix, system, initial, objective};
 
   std::vector<bool> used(matrix.size(), false);
   for (std::size_t site : initial.site_of) used[site] = true;
@@ -79,6 +90,8 @@ LocalSearchResult local_search_delta(const net::LatencyMatrix& matrix,
     pool = &*dedicated;
   }
 
+  const bool first_improvement =
+      options.strategy == LocalSearchStrategy::FirstImprovement;
   LocalSearchResult result;
   std::vector<Candidate> candidates;
   std::vector<double> objectives;
@@ -91,24 +104,45 @@ LocalSearchResult local_search_delta(const net::LatencyMatrix& matrix,
       }
     }
     objectives.resize(candidates.size());
-    const auto evaluate_candidate = [&](std::size_t i) {
-      objectives[i] = eval.objective_if_moved(candidates[i].element, candidates[i].site);
+    const auto evaluate_range = [&](std::size_t begin, std::size_t end) {
+      const auto evaluate_candidate = [&](std::size_t i) {
+        objectives[i] = eval.objective_if_moved(candidates[i].element, candidates[i].site);
+      };
+      if (pool != nullptr) {
+        pool->parallel_for(begin, end, evaluate_candidate);
+      } else {
+        for (std::size_t i = begin; i < end; ++i) evaluate_candidate(i);
+      }
     };
-    if (pool != nullptr) {
-      pool->parallel_for(0, candidates.size(), evaluate_candidate);
-    } else {
-      for (std::size_t i = 0; i < candidates.size(); ++i) evaluate_candidate(i);
-    }
 
-    // Fixed-order argmin reduction: replays the serial best-improvement scan
-    // over the candidate-ordered objectives, so the selected move (and its
+    // Fixed-order accept: the decision always replays the serial scan over
+    // the candidate-ordered objectives, so the selected move (and its
     // tie-breaking) is identical for any thread count.
-    double best_objective = current;
     std::size_t best_index = candidates.size();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (objectives[i] < best_objective - options.min_improvement) {
-        best_objective = objectives[i];
-        best_index = i;
+    if (first_improvement) {
+      // Evaluate fixed-size blocks and accept the lowest improving index;
+      // which index wins does not depend on the block size.
+      for (std::size_t begin = 0;
+           begin < candidates.size() && best_index == candidates.size();
+           begin += kFirstImprovementBlock) {
+        const std::size_t end =
+            std::min(candidates.size(), begin + kFirstImprovementBlock);
+        evaluate_range(begin, end);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (objectives[i] < current - options.min_improvement) {
+            best_index = i;
+            break;
+          }
+        }
+      }
+    } else {
+      evaluate_range(0, candidates.size());
+      double best_objective = current;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (objectives[i] < best_objective - options.min_improvement) {
+          best_objective = objectives[i];
+          best_index = i;
+        }
       }
     }
     if (best_index == candidates.size()) break;
@@ -120,8 +154,9 @@ LocalSearchResult local_search_delta(const net::LatencyMatrix& matrix,
 
   result.placement = eval.placement();
   // Final objective via the canonical evaluator, so callers comparing against
-  // average_uniform_network_delay see the exact same value.
-  result.objective = average_uniform_network_delay(matrix, system, result.placement);
+  // Objective::evaluate (or average_uniform_network_delay) see the exact
+  // same value.
+  result.objective = objective.evaluate(matrix, system, result.placement);
   return result;
 }
 
@@ -135,10 +170,12 @@ LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
   if (!initial.one_to_one()) {
     throw std::invalid_argument{"local_search_placement: initial must be one-to-one"};
   }
+  const Objective& objective =
+      options.objective != nullptr ? *options.objective : network_delay_objective();
   if (options.engine == LocalSearchEngine::Naive) {
-    return local_search_naive(matrix, system, initial, options);
+    return local_search_naive(matrix, system, initial, objective, options);
   }
-  return local_search_delta(matrix, system, initial, options);
+  return local_search_delta(matrix, system, initial, objective, options);
 }
 
 }  // namespace qp::core

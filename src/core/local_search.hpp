@@ -1,23 +1,34 @@
 // Local-search placement improvement — a baseline the paper does not
 // evaluate, used here as an ablation: how close are the constructive
-// placements of §4.1.1 to a local optimum of the average uniform network
-// delay? The search relocates one universe element at a time to an unused
-// site, taking the best improving move, until a local optimum.
+// placements of §4.1.1 to a local optimum of the search objective? The
+// search relocates one universe element at a time to an unused site until a
+// local optimum, under any core::Objective (pure network delay by default,
+// the load-aware §7 response time via LoadAwareObjective).
 //
-// Two evaluation engines share the same best-improvement semantics and
-// tie-breaking (first strict improvement in (element, site) scan order
-// wins ties):
+// Two evaluation engines share the same semantics and tie-breaking:
 //   * Delta — incremental evaluation via core::DeltaEvaluator: O(log n) per
 //     client per candidate instead of a full re-sort, optionally scanning
 //     the neighborhood on the shared thread pool. The parallel scan only
-//     distributes candidate evaluation; the argmin reduction replays the
+//     distributes candidate evaluation; the accept decision replays the
 //     serial scan order, so results are bit-identical for any thread count.
 //   * Naive — full objective re-evaluation per candidate; the reference
 //     path, kept for benchmarking and parity tests.
+//
+// Two accept strategies:
+//   * BestImprovement  — each round scans every (element, unused site)
+//     relocation and takes the best strictly-improving move (first such move
+//     in scan order wins ties).
+//   * FirstImprovement — each round takes the FIRST strictly-improving move
+//     in the deterministic (element, site) scan order, skipping the rest of
+//     the neighborhood; rounds are cheaper while improving moves are dense.
+//     The Delta engine evaluates fixed-size candidate blocks in parallel and
+//     accepts the lowest-index improvement, which is independent of the
+//     block size and thread count — deterministic.
 #pragma once
 
 #include <cstddef>
 
+#include "core/objective.hpp"
 #include "core/placement.hpp"
 #include "net/latency_matrix.hpp"
 #include "quorum/quorum_system.hpp"
@@ -29,13 +40,23 @@ enum class LocalSearchEngine {
   Naive,  // Full re-evaluation per candidate move.
 };
 
+enum class LocalSearchStrategy {
+  BestImprovement,   // Full neighborhood scan, steepest descent (default).
+  FirstImprovement,  // First improving move in deterministic scan order.
+};
+
 struct LocalSearchOptions {
-  /// Hard cap on improvement rounds (each round scans all moves).
+  /// Hard cap on improvement rounds (each round accepts at most one move).
   std::size_t max_rounds = 100;
   /// A move must improve the objective by more than this to be taken.
   double min_improvement = 1e-9;
   /// Evaluation engine; Delta and Naive agree to ~1e-12 per candidate.
   LocalSearchEngine engine = LocalSearchEngine::Delta;
+  /// Accept strategy; both reach (possibly different) local optima.
+  LocalSearchStrategy strategy = LocalSearchStrategy::BestImprovement;
+  /// Search objective; nullptr = pure network delay. The pointee must
+  /// outlive the call.
+  const Objective* objective = nullptr;
   /// Worker threads for the Delta candidate scan: 0 = the shared global
   /// pool, 1 = fully serial, n > 1 = a dedicated pool of n threads.
   /// Bit-identical results for every setting. Ignored by the Naive engine.
@@ -44,7 +65,8 @@ struct LocalSearchOptions {
 
 struct LocalSearchResult {
   Placement placement;
-  /// avg_v E_uniform[max d] of the final placement.
+  /// Objective value of the final placement (avg_v E_uniform[max d] for the
+  /// default network-delay objective).
   double objective = 0.0;
   /// Number of accepted relocation moves.
   std::size_t moves = 0;

@@ -1,0 +1,84 @@
+#include "core/objective.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/response.hpp"
+
+namespace qp::core {
+
+std::vector<double> Objective::site_loads(const quorum::QuorumSystem& system,
+                                          const Placement& placement,
+                                          std::size_t site_count) const {
+  std::vector<double> loads(site_count, 0.0);
+  if (alpha() == 0.0) return loads;
+  const std::span<const double> lambda = element_loads(system);
+  if (lambda.empty()) return loads;
+  if (lambda.size() != placement.universe_size()) {
+    throw std::invalid_argument{"Objective::site_loads: element_loads size mismatch"};
+  }
+  for (std::size_t u = 0; u < lambda.size(); ++u) {
+    loads[placement.site_of[u]] += lambda[u];
+  }
+  return loads;
+}
+
+void Objective::fill_values(const net::LatencyMatrix& matrix, const Placement& placement,
+                            std::span<const double> site_load, std::size_t client,
+                            std::vector<double>& out) const {
+  const double a = alpha();
+  if (a == 0.0 || site_load.empty()) {
+    fill_element_distances(matrix, placement, client, out);
+    return;
+  }
+  fill_element_values(matrix, placement, site_load, a, client, out);
+}
+
+double Objective::evaluate_ws(const net::LatencyMatrix& matrix,
+                              const quorum::QuorumSystem& system,
+                              const Placement& placement, EvalWorkspace& workspace) const {
+  if (alpha() == 0.0) {
+    return average_uniform_network_delay_ws(matrix, system, placement, workspace);
+  }
+  // One load table per evaluation; the per-client loop is allocation-free.
+  const std::vector<double> load = site_loads(system, placement, matrix.size());
+  double total = 0.0;
+  for (std::size_t v = 0; v < matrix.size(); ++v) {
+    fill_values(matrix, placement, load, v, workspace.values);
+    total += system.expected_max_uniform_scratch(workspace.values, workspace.scratch);
+  }
+  return total / static_cast<double>(matrix.size());
+}
+
+double Objective::evaluate(const net::LatencyMatrix& matrix,
+                           const quorum::QuorumSystem& system,
+                           const Placement& placement) const {
+  EvalWorkspace workspace;
+  return evaluate_ws(matrix, system, placement, workspace);
+}
+
+LoadAwareObjective::LoadAwareObjective(double alpha) : alpha_(alpha) {
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    throw std::invalid_argument{"LoadAwareObjective: alpha must be finite and >= 0"};
+  }
+}
+
+LoadAwareObjective LoadAwareObjective::for_demand(double client_demand) {
+  return LoadAwareObjective{kQuWriteServiceMs * client_demand};
+}
+
+std::string LoadAwareObjective::name() const {
+  return "load-aware(alpha=" + std::to_string(alpha_) + ")";
+}
+
+std::span<const double> LoadAwareObjective::element_loads(
+    const quorum::QuorumSystem& system) const {
+  return system.uniform_load_cached();
+}
+
+const Objective& network_delay_objective() noexcept {
+  static const NetworkDelayObjective objective;
+  return objective;
+}
+
+}  // namespace qp::core

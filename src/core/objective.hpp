@@ -1,0 +1,110 @@
+// Pluggable placement-search objectives.
+//
+// Every search layer (DeltaEvaluator, local_search, best_placement, the
+// iterative alternation) optimizes an average over clients of the expected
+// maximum of per-element values
+//
+//   J(f) = avg_v E_uniform-Q [ max_{u in Q} x_f(v, u) ],
+//   x_f(v, u) = d(v, f(u)) + alpha * load_f(f(u))            (§4, eq. 4.1)
+//
+// under the balanced (uniform) access strategy with per-element execution
+// (§8). The Objective interface captures the two axes a concrete objective
+// chooses: the alpha coefficient and the load model (lambda_u per element,
+// accumulated onto hosting sites). Two implementations cover the paper:
+//   * NetworkDelayObjective — alpha = 0, the §6 pure-network-delay measure;
+//   * LoadAwareObjective    — alpha = op_srv_time * demand > 0, the §7
+//                             load-aware response time.
+// Search code takes a `const Objective&` and never special-cases alpha.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/eval_workspace.hpp"
+#include "core/placement.hpp"
+#include "net/latency_matrix.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::core {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Coefficient on the load term of (4.1); 0 means pure network delay.
+  [[nodiscard]] virtual double alpha() const noexcept = 0;
+
+  /// Per-element load contributions lambda_u: the load element u drags to
+  /// whichever site hosts it, so load_f(w) = sum_{f(u)=w} lambda_u. An empty
+  /// span means all-zero (the network-delay case). Spans must stay valid for
+  /// the lifetime of the program (concrete objectives return memoized
+  /// per-system tables, see QuorumSystem::uniform_load_cached).
+  [[nodiscard]] virtual std::span<const double> element_loads(
+      const quorum::QuorumSystem& system) const = 0;
+
+  // ---- Shared machinery (identical for every objective). ----
+
+  /// load_f(w) per site under this objective's load model; all zeros when
+  /// alpha() == 0 or element_loads is empty.
+  [[nodiscard]] std::vector<double> site_loads(const quorum::QuorumSystem& system,
+                                               const Placement& placement,
+                                               std::size_t site_count) const;
+
+  /// x_f(client, u) into `out` for precomputed site loads.
+  void fill_values(const net::LatencyMatrix& matrix, const Placement& placement,
+                   std::span<const double> site_load, std::size_t client,
+                   std::vector<double>& out) const;
+
+  /// Naive full evaluation of J(f): the reference the incremental engine is
+  /// checked against. Allocation-free in steady state via `workspace`.
+  [[nodiscard]] double evaluate_ws(const net::LatencyMatrix& matrix,
+                                   const quorum::QuorumSystem& system,
+                                   const Placement& placement,
+                                   EvalWorkspace& workspace) const;
+
+  /// Convenience overload with a local workspace.
+  [[nodiscard]] double evaluate(const net::LatencyMatrix& matrix,
+                                const quorum::QuorumSystem& system,
+                                const Placement& placement) const;
+};
+
+/// alpha = 0: J(f) = avg_v E_uniform[max d(v, f(u))] — identical to
+/// average_uniform_network_delay.
+class NetworkDelayObjective final : public Objective {
+ public:
+  [[nodiscard]] std::string name() const override { return "network-delay"; }
+  [[nodiscard]] double alpha() const noexcept override { return 0.0; }
+  [[nodiscard]] std::span<const double> element_loads(
+      const quorum::QuorumSystem&) const override {
+    return {};
+  }
+};
+
+/// alpha > 0: the §7 response-time objective under the balanced strategy;
+/// matches evaluate_balanced(...).avg_response_ms for per-element execution.
+class LoadAwareObjective final : public Objective {
+ public:
+  /// Requires alpha >= 0 and finite.
+  explicit LoadAwareObjective(double alpha);
+
+  /// alpha = kQuWriteServiceMs * client_demand (§7's parameterization).
+  [[nodiscard]] static LoadAwareObjective for_demand(double client_demand);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double alpha() const noexcept override { return alpha_; }
+  [[nodiscard]] std::span<const double> element_loads(
+      const quorum::QuorumSystem& system) const override;
+
+ private:
+  double alpha_;
+};
+
+/// Program-lifetime NetworkDelayObjective instance: the default objective of
+/// every search entry point.
+[[nodiscard]] const Objective& network_delay_objective() noexcept;
+
+}  // namespace qp::core

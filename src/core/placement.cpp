@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/eval_workspace.hpp"
+#include "core/objective.hpp"
 #include "quorum/grid.hpp"
 
 namespace qp::core {
@@ -92,6 +93,7 @@ double average_uniform_network_delay(const net::LatencyMatrix& matrix,
 
 PlacementSearchResult best_placement(
     const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Objective& objective,
     const std::function<Placement(std::size_t v0)>& build_for_client,
     std::span<const std::size_t> candidates) {
   std::vector<std::size_t> all;
@@ -112,8 +114,7 @@ PlacementSearchResult best_placement(
         static thread_local EvalWorkspace workspace;
         const Placement placement = build_for_client(candidates[i]);
         placement.validate(matrix.size());
-        delays[i] =
-            average_uniform_network_delay_ws(matrix, system, placement, workspace);
+        delays[i] = objective.evaluate_ws(matrix, system, placement, workspace);
       });
 
   std::size_t best_index = candidates.size();
@@ -132,6 +133,14 @@ PlacementSearchResult best_placement(
   best.anchor_client = candidates[best_index];
   best.placement = build_for_client(candidates[best_index]);
   return best;
+}
+
+PlacementSearchResult best_placement(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const std::function<Placement(std::size_t v0)>& build_for_client,
+    std::span<const std::size_t> candidates) {
+  return best_placement(matrix, system, network_delay_objective(), build_for_client,
+                        candidates);
 }
 
 PlacementSearchResult best_majority_placement(const net::LatencyMatrix& matrix,

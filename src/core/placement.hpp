@@ -15,6 +15,8 @@
 
 namespace qp::core {
 
+class Objective;  // core/objective.hpp (which includes this header).
+
 /// A placement maps universe element u to the site hosting it. Many-to-one
 /// mappings are allowed (multiple elements on one site).
 struct Placement {
@@ -62,7 +64,9 @@ struct Placement {
 struct PlacementSearchResult {
   Placement placement;
   std::size_t anchor_client = 0;      // The v0 whose placement won.
-  double avg_network_delay = 0.0;     // Uniform-strategy delay of the winner.
+  /// Objective value of the winner: the uniform-strategy network delay for
+  /// the default objective, the load-aware response time otherwise.
+  double avg_network_delay = 0.0;
 };
 
 /// §4.1.1 outer loop: builds the single-client placement for every candidate
@@ -73,6 +77,15 @@ struct PlacementSearchResult {
 /// serial in candidate order, so the result is identical to a serial scan.
 [[nodiscard]] PlacementSearchResult best_placement(
     const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const std::function<Placement(std::size_t v0)>& build_for_client,
+    std::span<const std::size_t> candidates = {});
+
+/// Same outer loop scored by an arbitrary core::Objective (e.g. the
+/// load-aware response time): the winning candidate minimizes
+/// objective.evaluate over the built placements.
+[[nodiscard]] PlacementSearchResult best_placement(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Objective& objective,
     const std::function<Placement(std::size_t v0)>& build_for_client,
     std::span<const std::size_t> candidates = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -9,6 +10,8 @@
 #include "common/thread_pool.hpp"
 #include "core/capacity.hpp"
 #include "core/iterative.hpp"
+#include "core/local_search.hpp"
+#include "core/objective.hpp"
 #include "core/placement.hpp"
 #include "core/response.hpp"
 #include "core/strategy.hpp"
@@ -255,6 +258,88 @@ std::vector<IterativePoint> iterative_sweep(const net::LatencyMatrix& matrix,
   for (const std::vector<IterativePoint>& level_points : per_level) {
     points.insert(points.end(), level_points.begin(), level_points.end());
   }
+  return points;
+}
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   since)
+      .count();
+}
+
+/// Two rows (constructive, local-opt) for one system on one scenario.
+void large_topology_rows(const sim::Scenario& scenario,
+                         const quorum::QuorumSystem& system,
+                         const std::function<core::Placement(std::size_t)>& builder,
+                         const core::Objective& objective,
+                         const LargeTopologyConfig& config,
+                         std::vector<LargeTopologyPoint>& points) {
+  const net::LatencyMatrix& matrix = scenario.matrix;
+  const std::vector<std::size_t> anchors =
+      config.anchor_count == 0 ? std::vector<std::size_t>{}
+                               : central_sites(matrix, config.anchor_count);
+
+  LargeTopologyPoint constructive;
+  constructive.scenario = scenario.name;
+  constructive.system = system.name();
+  constructive.stage = "constructive";
+  constructive.alpha = objective.alpha();
+  auto start = std::chrono::steady_clock::now();
+  const core::PlacementSearchResult search =
+      core::best_placement(matrix, system, objective, builder, anchors);
+  constructive.stage_ms = elapsed_ms(start);
+  constructive.response_ms = search.avg_network_delay;  // Objective value.
+  constructive.network_delay_ms =
+      core::average_uniform_network_delay(matrix, system, search.placement);
+  points.push_back(constructive);
+
+  LargeTopologyPoint optimum = constructive;
+  optimum.stage = "local-opt";
+  core::LocalSearchOptions options;
+  options.objective = &objective;
+  options.strategy = config.strategy;
+  options.max_rounds = config.max_rounds;
+  start = std::chrono::steady_clock::now();
+  const core::LocalSearchResult polished =
+      core::local_search_placement(matrix, system, search.placement, options);
+  optimum.stage_ms = elapsed_ms(start);
+  optimum.response_ms = polished.objective;
+  optimum.network_delay_ms =
+      core::average_uniform_network_delay(matrix, system, polished.placement);
+  optimum.moves = polished.moves;
+  points.push_back(optimum);
+}
+
+}  // namespace
+
+std::vector<LargeTopologyPoint> large_topology_sweep(const sim::Scenario& scenario,
+                                                     const LargeTopologyConfig& config) {
+  const net::LatencyMatrix& matrix = scenario.matrix;
+  const std::size_t grid_universe = config.grid_side * config.grid_side;
+  if (grid_universe > matrix.size() || config.majority_universe > matrix.size()) {
+    throw std::invalid_argument{"large_topology_sweep: topology smaller than universe"};
+  }
+  const core::LoadAwareObjective objective =
+      core::LoadAwareObjective::for_demand(scenario.mean_demand());
+
+  std::vector<LargeTopologyPoint> points;
+  const quorum::GridQuorum grid{config.grid_side};
+  large_topology_rows(
+      scenario, grid,
+      [&](std::size_t v0) {
+        return core::grid_placement_for_client(matrix, config.grid_side, v0);
+      },
+      objective, config, points);
+
+  const quorum::MajorityQuorum majority{config.majority_universe, config.majority_quorum};
+  large_topology_rows(
+      scenario, majority,
+      [&](std::size_t v0) {
+        return core::majority_ball_placement(matrix, config.majority_universe, v0);
+      },
+      objective, config, points);
   return points;
 }
 

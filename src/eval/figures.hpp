@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "core/local_search.hpp"
 #include "net/latency_matrix.hpp"
+#include "sim/scenario.hpp"
 
 namespace qp::eval {
 
@@ -122,5 +124,37 @@ struct IterativeSweepConfig {
 /// the candidate v0 set used by iterative_sweep.
 [[nodiscard]] std::vector<std::size_t> central_sites(const net::LatencyMatrix& matrix,
                                                      std::size_t count);
+
+// ------------------------------------------- large topologies (beyond §7)
+
+struct LargeTopologyPoint {
+  std::string scenario;           // e.g. "daxlist-161", "synthetic-500".
+  std::string system;             // e.g. "Grid(7x7)", "Majority(25/49)".
+  std::string stage;              // "constructive" or "local-opt".
+  double alpha = 0.0;             // Load coefficient of the scenario.
+  double response_ms = 0.0;       // Load-aware objective of the placement.
+  double network_delay_ms = 0.0;  // alpha = 0 objective of the same placement.
+  std::size_t moves = 0;          // Accepted relocations (0 for constructive).
+  double stage_ms = 0.0;          // Wall-clock of producing the stage.
+};
+
+struct LargeTopologyConfig {
+  std::size_t grid_side = 7;           // n = 49, the paper's largest grid.
+  std::size_t majority_universe = 49;  // Majority(25/49), same n.
+  std::size_t majority_quorum = 25;
+  /// Anchor candidates v0 for the constructive search (most central sites);
+  /// 0 = all sites (exhaustive, slow on 500-site scenarios).
+  std::size_t anchor_count = 32;
+  /// Round cap for the load-aware local search.
+  std::size_t max_rounds = 60;
+  core::LocalSearchStrategy strategy = core::LocalSearchStrategy::BestImprovement;
+};
+
+/// The large-topology figure: constructive placements (§4.1.1, anchored at
+/// the scenario's central sites, scored by the load-aware objective) vs the
+/// load-aware local optima the incremental DeltaEvaluator search reaches
+/// from them, for Grid and Majority at n = 49. Two rows per system.
+[[nodiscard]] std::vector<LargeTopologyPoint> large_topology_sweep(
+    const sim::Scenario& scenario, const LargeTopologyConfig& config = {});
 
 }  // namespace qp::eval

@@ -43,6 +43,15 @@ void print_csv(std::ostream& out, std::span<const IterativePoint> points) {
   }
 }
 
+void print_csv(std::ostream& out, std::span<const LargeTopologyPoint> points) {
+  out << "scenario,system,stage,alpha,response_ms,network_delay_ms,moves,stage_ms\n";
+  for (const LargeTopologyPoint& p : points) {
+    out << p.scenario << ',' << p.system << ',' << p.stage << ',' << p.alpha << ','
+        << p.response_ms << ',' << p.network_delay_ms << ',' << p.moves << ','
+        << p.stage_ms << '\n';
+  }
+}
+
 std::vector<IterativePoint> rows_for_stage(std::span<const IterativePoint> points,
                                            const std::string& stage) {
   std::vector<IterativePoint> result;

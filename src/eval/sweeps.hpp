@@ -16,6 +16,7 @@ void print_csv(std::ostream& out, std::span<const LowDemandPoint> points);
 void print_csv(std::ostream& out, std::span<const GridDemandPoint> points);
 void print_csv(std::ostream& out, std::span<const CapacityPoint> points);
 void print_csv(std::ostream& out, std::span<const IterativePoint> points);
+void print_csv(std::ostream& out, std::span<const LargeTopologyPoint> points);
 
 /// Filters rows by a predicate-free convenience: rows matching a stage name.
 [[nodiscard]] std::vector<IterativePoint> rows_for_stage(

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/combinatorics.hpp"
+#include "common/simd_kernels.hpp"
 
 namespace qp::quorum {
 
@@ -37,24 +38,19 @@ double expected_max_sorted(std::span<const double> sorted_values,
                            std::size_t subset_size) {
   const std::span<const double> weights =
       max_order_weights(sorted_values.size(), subset_size);
-  // Accumulate ascending, matching the historical CDF-difference loop
-  // bit-for-bit (the skipped prefix weights are exactly 0).
-  double expectation = 0.0;
-  for (std::size_t i = subset_size - 1; i < sorted_values.size(); ++i) {
-    expectation += sorted_values[i] * weights[i];
-  }
-  return expectation;
+  // Forward to the kernel over the full span so both overloads reduce in
+  // the same order (the prefix weights are exactly 0, contributing exact
+  // zeros to the sum).
+  return expected_max_sorted(sorted_values, weights);
 }
 
 double expected_max_sorted(std::span<const double> sorted_values,
                            std::span<const double> weights) noexcept {
-  // Identical value to the (values, subset_size) overload: the extra leading
-  // terms all multiply exactly-zero weights.
-  double expectation = 0.0;
-  for (std::size_t i = 0; i < sorted_values.size(); ++i) {
-    expectation += sorted_values[i] * weights[i];
-  }
-  return expectation;
+  // Identical value (up to reduction reordering) to the (values,
+  // subset_size) overload: the extra leading terms all multiply
+  // exactly-zero weights. This is THE per-client inner loop of every
+  // Majority evaluation, hence the vectorized kernel.
+  return common::weighted_dot(sorted_values, weights);
 }
 
 double expected_max_uniform_subset(std::span<const double> values,

@@ -1,9 +1,33 @@
 #include "quorum/quorum_system.hpp"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace qp::quorum {
+
+std::span<const double> QuorumSystem::uniform_load_cached() const {
+  // Keyed by name() because names carry the defining parameters (e.g.
+  // "Majority(5/9)", "Grid(3x3)"), so equal-named systems have equal loads.
+  // Entries live for the program lifetime, making the spans safe to cache in
+  // evaluators that outlive this system instance.
+  static std::mutex mutex;
+  static std::map<std::string, std::vector<double>>& cache =
+      *new std::map<std::string, std::vector<double>>;
+  std::string key = name();
+  {
+    const std::scoped_lock lock{mutex};
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Compute outside the lock: enumeration-backed loads (Tree, FPP) can be
+  // slow and must not serialize unrelated systems.
+  std::vector<double> load = uniform_load();
+  const std::scoped_lock lock{mutex};
+  return cache.emplace(std::move(key), std::move(load)).first->second;
+}
 
 bool QuorumSystem::verify_intersection(std::size_t limit) const {
   const std::vector<Quorum> quorums = enumerate_quorums(limit);

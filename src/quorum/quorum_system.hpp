@@ -73,6 +73,13 @@ class QuorumSystem {
   /// load(u) under the uniform access strategy, for each element.
   [[nodiscard]] virtual std::vector<double> uniform_load() const = 0;
 
+  /// Memoized uniform_load() with program-lifetime storage, keyed by the
+  /// system's (parameter-carrying) name. Systems whose uniform load is
+  /// computed by enumeration (Tree, FPP) pay that cost once instead of per
+  /// evaluation; the load-aware objective layer calls this on every naive
+  /// evaluation. Thread-safe.
+  [[nodiscard]] std::span<const double> uniform_load_cached() const;
+
   /// The system's optimal load L_opt (the paper's capacity lower bound, §7).
   /// For the symmetric systems here this is the busiest element's load under
   /// the uniform strategy. Not noexcept: some systems compute it by

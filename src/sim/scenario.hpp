@@ -1,0 +1,64 @@
+// Seeded synthetic workload scenarios: a latency topology plus a per-client
+// demand vector, the unit the large-topology evaluations consume.
+//
+// The paper's evaluation stops at 161 sites with uniform client demand; the
+// ROADMAP's "millions of users" trajectory needs larger topologies and
+// skewed workloads. A Scenario bundles
+//   * a metric-closed WAN latency matrix (net/synthetic embedded-coordinate
+//     generator, scaled to any site count across a world template of
+//     regions), and
+//   * a power-law (Pareto) per-client demand vector, normalized to a chosen
+//     mean — real client populations are heavy-tailed, not uniform.
+// Everything is deterministic in one 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/latency_matrix.hpp"
+#include "net/synthetic.hpp"
+
+namespace qp::sim {
+
+struct ScenarioConfig {
+  std::string name = "synthetic";
+  /// Total sites, distributed across the world template proportionally.
+  std::size_t site_count = 500;
+  std::uint64_t seed = 20070601;
+  /// Pareto shape of the per-client demand distribution; must exceed 1 so
+  /// the mean exists. Smaller = heavier tail (1.6 gives a top-1% share of
+  /// roughly a quarter of the total demand).
+  double demand_shape = 1.6;
+  /// Mean per-client demand in requests/sec after normalization; the §7
+  /// response model maps this to alpha = kQuWriteServiceMs * demand.
+  double mean_demand = 8'000.0;
+};
+
+struct Scenario {
+  std::string name;
+  net::LatencyMatrix matrix;
+  /// Generated coordinates (empty for dataset-backed scenarios).
+  std::vector<net::SiteLocation> sites;
+  /// Per-client demand, requests/sec; one entry per site.
+  std::vector<double> client_demand;
+
+  [[nodiscard]] std::size_t site_count() const noexcept { return matrix.size(); }
+  [[nodiscard]] double total_demand() const noexcept;
+  [[nodiscard]] double mean_demand() const noexcept;
+  /// The §7 response-model coefficient for this workload:
+  /// kQuWriteServiceMs * mean_demand().
+  [[nodiscard]] double alpha() const noexcept;
+};
+
+/// Generates the scenario for `config`. Throws on zero sites, a shape <= 1,
+/// or a negative mean demand.
+[[nodiscard]] Scenario make_scenario(const ScenarioConfig& config = {});
+
+/// The canned 500-site scenario of the large-topology benchmark.
+[[nodiscard]] Scenario synthetic500_scenario(std::uint64_t seed = 20070601);
+
+/// daxlist-161 stand-in (161 sites) with power-law demand on top.
+[[nodiscard]] Scenario daxlist161_scenario(std::uint64_t seed = 20060702);
+
+}  // namespace qp::sim

@@ -1,0 +1,391 @@
+// Parity suite for the pluggable Objective layer and the load-aware
+// (alpha > 0) incremental path: LoadAwareObjective must match the §7
+// balanced-strategy response time, the DeltaEvaluator load-delta tables must
+// match the naive objective to 1e-9 across all four quorum-system families,
+// random demand levels, and randomized move sequences (including moves that
+// colocate elements and hence shift load at both endpoint sites), and the
+// parallel neighborhood scan must stay deterministic for alpha > 0.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/delta_eval.hpp"
+#include "core/iterative.hpp"
+#include "core/local_search.hpp"
+#include "core/objective.hpp"
+#include "core/placement.hpp"
+#include "core/response.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/fpp.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/quorum_system.hpp"
+#include "quorum/tree.hpp"
+
+namespace qp::core {
+namespace {
+
+using net::LatencyMatrix;
+
+struct SystemCase {
+  std::string label;
+  std::unique_ptr<quorum::QuorumSystem> system;
+};
+
+/// The four quorum-system families: Majority (order-statistic delta path),
+/// Grid (row/column path), FPP and Tree (enumerated path). Tree matters
+/// most here: its uniform load is NOT element-symmetric, so the load term
+/// genuinely reshapes the objective rather than shifting it by a constant.
+std::vector<SystemCase> all_systems() {
+  std::vector<SystemCase> cases;
+  cases.push_back({"majority", std::make_unique<quorum::MajorityQuorum>(9, 5)});
+  cases.push_back({"grid", std::make_unique<quorum::GridQuorum>(3)});
+  cases.push_back({"fpp", std::make_unique<quorum::FppQuorum>(2)});
+  cases.push_back({"tree", std::make_unique<quorum::TreeQuorum>(2)});
+  return cases;
+}
+
+Placement random_one_to_one(const LatencyMatrix& m, std::size_t universe,
+                            common::Rng& rng) {
+  return Placement{rng.sample_without_replacement(m.size(), universe)};
+}
+
+/// Random placement with deliberate colocation: roughly half the elements
+/// share sites, exercising the load-shift (general) delta path.
+Placement random_many_to_one(const LatencyMatrix& m, std::size_t universe,
+                             common::Rng& rng) {
+  Placement placement;
+  placement.site_of.resize(universe);
+  const std::size_t distinct = std::max<std::size_t>(1, universe / 2);
+  const std::vector<std::size_t> sites = rng.sample_without_replacement(m.size(), distinct);
+  for (std::size_t u = 0; u < universe; ++u) {
+    placement.site_of[u] = sites[rng.below(distinct)];
+  }
+  return placement;
+}
+
+double naive_if_moved(const LatencyMatrix& m, const quorum::QuorumSystem& system,
+                      const Objective& objective, Placement placement,
+                      std::size_t element, std::size_t site) {
+  placement.site_of[element] = site;
+  return objective.evaluate(m, system, placement);
+}
+
+TEST(Objective, NetworkDelayMatchesAverageUniformNetworkDelay) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 7, 41);
+    common::Rng rng{5};
+    const Placement placement = random_one_to_one(m, n, rng);
+    const double objective =
+        network_delay_objective().evaluate(m, *test_case.system, placement);
+    const double naive = average_uniform_network_delay(m, *test_case.system, placement);
+    EXPECT_DOUBLE_EQ(objective, naive) << test_case.label;
+  }
+}
+
+TEST(Objective, LoadAwareMatchesBalancedEvaluation) {
+  // The load-aware objective is exactly the §7 balanced-strategy response
+  // time (per-element execution): compare against evaluate_balanced across
+  // systems, placements (including many-to-one), and alpha levels.
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 9, 43);
+    common::Rng rng{17};
+    for (const double alpha : {0.007, 7.0, 56.0}) {
+      const LoadAwareObjective objective{alpha};
+      for (int trial = 0; trial < 3; ++trial) {
+        const Placement placement = trial == 2 ? random_many_to_one(m, n, rng)
+                                               : random_one_to_one(m, n, rng);
+        const double value = objective.evaluate(m, *test_case.system, placement);
+        const Evaluation balanced =
+            evaluate_balanced(m, *test_case.system, placement, alpha);
+        EXPECT_NEAR(value, balanced.avg_response_ms,
+                    1e-9 * std::max(1.0, balanced.avg_response_ms))
+            << test_case.label << " alpha " << alpha << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Objective, ForDemandScalesTheServiceTime) {
+  const LoadAwareObjective objective = LoadAwareObjective::for_demand(16'000.0);
+  EXPECT_DOUBLE_EQ(objective.alpha(), kQuWriteServiceMs * 16'000.0);
+  EXPECT_THROW(LoadAwareObjective{-1.0}, std::invalid_argument);
+}
+
+TEST(LoadAwareDeltaEval, MatchesNaiveAtConstruction) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 8, 107);
+    common::Rng rng{7};
+    const LoadAwareObjective objective{11.0};
+    for (int trial = 0; trial < 5; ++trial) {
+      const Placement placement = random_one_to_one(m, n, rng);
+      const DeltaEvaluator eval{m, *test_case.system, placement, objective};
+      const double naive = objective.evaluate(m, *test_case.system, placement);
+      EXPECT_NEAR(eval.objective(), naive, 1e-9 * std::max(1.0, naive))
+          << test_case.label << " trial " << trial;
+    }
+  }
+}
+
+TEST(LoadAwareDeltaEval, CandidateMovesMatchNaiveAcrossAllSystems) {
+  // Every (element, site) candidate from a one-to-one placement, at several
+  // random demand levels: moves to unused sites take the fast
+  // single-coordinate path, moves onto occupied sites take the load-shift
+  // fallback; both must match the naive objective.
+  common::Rng demand_rng{1009};
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 10, 223);
+    common::Rng rng{13};
+    for (int trial = 0; trial < 2; ++trial) {
+      const LoadAwareObjective objective{demand_rng.uniform(0.01, 90.0)};
+      const Placement placement = random_one_to_one(m, n, rng);
+      const DeltaEvaluator eval{m, *test_case.system, placement, objective};
+      for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t w = 0; w < m.size(); ++w) {
+          const double delta = eval.objective_if_moved(u, w);
+          const double naive =
+              naive_if_moved(m, *test_case.system, objective, placement, u, w);
+          EXPECT_NEAR(delta, naive, 1e-9 * std::max(1.0, naive))
+              << test_case.label << " move " << u << "->" << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(LoadAwareDeltaEval, ColocatedPlacementsMatchNaive) {
+  // Start from a many-to-one placement: every candidate involves load shifts
+  // at sites hosting several elements (the general path plus the per-site
+  // load tables).
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 6, 331);
+    common::Rng rng{29};
+    const LoadAwareObjective objective{23.0};
+    const Placement placement = random_many_to_one(m, n, rng);
+    const DeltaEvaluator eval{m, *test_case.system, placement, objective};
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t w = 0; w < m.size(); ++w) {
+        const double delta = eval.objective_if_moved(u, w);
+        const double naive =
+            naive_if_moved(m, *test_case.system, objective, placement, u, w);
+        EXPECT_NEAR(delta, naive, 1e-9 * std::max(1.0, naive))
+            << test_case.label << " move " << u << "->" << w;
+      }
+    }
+  }
+}
+
+TEST(LoadAwareDeltaEval, RandomizedMoveSequencesStayInParity) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 12, 307);
+    common::Rng rng{31};
+    const LoadAwareObjective objective{47.0};
+    Placement placement = random_one_to_one(m, n, rng);
+    DeltaEvaluator eval{m, *test_case.system, placement, objective};
+    for (int step = 0; step < 20; ++step) {
+      const std::size_t u = static_cast<std::size_t>(rng.below(n));
+      const std::size_t w = static_cast<std::size_t>(rng.below(m.size()));
+      const double predicted = eval.objective_if_moved(u, w);
+      eval.apply_move(u, w);
+      placement.site_of[u] = w;
+      const double naive = objective.evaluate(m, *test_case.system, placement);
+      EXPECT_NEAR(predicted, naive, 1e-9 * std::max(1.0, naive))
+          << test_case.label << " step " << step;
+      EXPECT_NEAR(eval.objective(), naive, 1e-9 * std::max(1.0, naive))
+          << test_case.label << " step " << step;
+    }
+  }
+}
+
+TEST(LoadAwareLocalSearch, DeltaEngineMatchesNaiveEngine) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 9, 601);
+    common::Rng rng{43};
+    const LoadAwareObjective objective{33.0};
+    const Placement initial = random_one_to_one(m, n, rng);
+
+    LocalSearchOptions naive_options;
+    naive_options.engine = LocalSearchEngine::Naive;
+    naive_options.objective = &objective;
+    const LocalSearchResult naive =
+        local_search_placement(m, *test_case.system, initial, naive_options);
+
+    LocalSearchOptions delta_options;
+    delta_options.engine = LocalSearchEngine::Delta;
+    delta_options.threads = 1;
+    delta_options.objective = &objective;
+    const LocalSearchResult delta =
+        local_search_placement(m, *test_case.system, initial, delta_options);
+
+    EXPECT_EQ(delta.placement.site_of, naive.placement.site_of) << test_case.label;
+    EXPECT_EQ(delta.moves, naive.moves) << test_case.label;
+    EXPECT_NEAR(delta.objective, naive.objective, 1e-9 * std::max(1.0, naive.objective))
+        << test_case.label;
+  }
+}
+
+TEST(LoadAwareLocalSearch, ParallelScanIsDeterministicForAlphaPositive) {
+  const LatencyMatrix m = net::small_synth(24, 701);
+  const quorum::TreeQuorum tree{2};
+  common::Rng rng{53};
+  const LoadAwareObjective objective{29.0};
+  const Placement initial = random_one_to_one(m, tree.universe_size(), rng);
+
+  LocalSearchOptions serial;
+  serial.threads = 1;
+  serial.objective = &objective;
+  const LocalSearchResult reference = local_search_placement(m, tree, initial, serial);
+
+  for (std::size_t threads : {std::size_t{0}, std::size_t{2}, std::size_t{5}}) {
+    LocalSearchOptions parallel = serial;
+    parallel.threads = threads;
+    const LocalSearchResult result = local_search_placement(m, tree, initial, parallel);
+    EXPECT_EQ(result.placement.site_of, reference.placement.site_of)
+        << "threads=" << threads;
+    EXPECT_EQ(result.moves, reference.moves) << "threads=" << threads;
+    EXPECT_EQ(result.objective, reference.objective) << "threads=" << threads;
+  }
+}
+
+TEST(LoadAwareLocalSearch, NeverWorsensTheObjective) {
+  const LatencyMatrix m = net::small_synth(18, 5);
+  const quorum::GridQuorum grid{2};
+  common::Rng rng{9};
+  const LoadAwareObjective objective{61.0};
+  for (int trial = 0; trial < 5; ++trial) {
+    const Placement initial = random_one_to_one(m, 4, rng);
+    const double before = objective.evaluate(m, grid, initial);
+    LocalSearchOptions options;
+    options.objective = &objective;
+    const LocalSearchResult result = local_search_placement(m, grid, initial, options);
+    EXPECT_LE(result.objective, before + 1e-12);
+    EXPECT_NEAR(result.objective, objective.evaluate(m, grid, result.placement), 1e-12);
+    EXPECT_TRUE(result.placement.one_to_one());
+  }
+}
+
+TEST(FirstImprovement, ReachesALocalOptimumMatchingEngines) {
+  // First-improvement must agree between the naive and delta engines
+  // (identical deterministic scan order), never worsen the objective, and
+  // leave no improving move behind (re-running makes zero moves).
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 8, 811);
+    common::Rng rng{59};
+    const Placement initial = random_one_to_one(m, n, rng);
+
+    LocalSearchOptions naive_options;
+    naive_options.engine = LocalSearchEngine::Naive;
+    naive_options.strategy = LocalSearchStrategy::FirstImprovement;
+    naive_options.max_rounds = 500;
+    const LocalSearchResult naive =
+        local_search_placement(m, *test_case.system, initial, naive_options);
+
+    LocalSearchOptions delta_options;
+    delta_options.strategy = LocalSearchStrategy::FirstImprovement;
+    delta_options.threads = 1;
+    delta_options.max_rounds = 500;
+    const LocalSearchResult delta =
+        local_search_placement(m, *test_case.system, initial, delta_options);
+
+    EXPECT_EQ(delta.placement.site_of, naive.placement.site_of) << test_case.label;
+    EXPECT_EQ(delta.moves, naive.moves) << test_case.label;
+
+    const double before = average_uniform_network_delay(m, *test_case.system, initial);
+    EXPECT_LE(delta.objective, before + 1e-12) << test_case.label;
+    const LocalSearchResult again =
+        local_search_placement(m, *test_case.system, delta.placement, delta_options);
+    EXPECT_EQ(again.moves, 0u) << test_case.label;
+  }
+}
+
+TEST(FirstImprovement, ParallelBlocksMatchSerialScan) {
+  const LatencyMatrix m = net::small_synth(26, 907);
+  const quorum::GridQuorum grid{3};
+  common::Rng rng{61};
+  const Placement initial = random_one_to_one(m, grid.universe_size(), rng);
+
+  LocalSearchOptions serial;
+  serial.strategy = LocalSearchStrategy::FirstImprovement;
+  serial.threads = 1;
+  const LocalSearchResult reference = local_search_placement(m, grid, initial, serial);
+
+  for (std::size_t threads : {std::size_t{0}, std::size_t{3}}) {
+    LocalSearchOptions parallel = serial;
+    parallel.threads = threads;
+    const LocalSearchResult result = local_search_placement(m, grid, initial, parallel);
+    EXPECT_EQ(result.placement.site_of, reference.placement.site_of)
+        << "threads=" << threads;
+    EXPECT_EQ(result.moves, reference.moves) << "threads=" << threads;
+    EXPECT_EQ(result.objective, reference.objective) << "threads=" << threads;
+  }
+}
+
+TEST(ObjectiveBestPlacement, LoadAwareOverloadPicksTheObjectiveWinner) {
+  const LatencyMatrix m = net::small_synth(20, 997);
+  const quorum::MajorityQuorum majority{5, 3};
+  const LoadAwareObjective objective{19.0};
+  // Hand-rolled serial scan with the historical tie-breaking, scored by the
+  // load-aware objective.
+  PlacementSearchResult expected;
+  expected.avg_network_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t v0 = 0; v0 < m.size(); ++v0) {
+    Placement placement = majority_ball_placement(m, majority.universe_size(), v0);
+    const double value = objective.evaluate(m, majority, placement);
+    if (value < expected.avg_network_delay) {
+      expected.avg_network_delay = value;
+      expected.anchor_client = v0;
+      expected.placement = std::move(placement);
+    }
+  }
+  const PlacementSearchResult actual = best_placement(
+      m, majority, objective,
+      [&](std::size_t v0) { return majority_ball_placement(m, majority.universe_size(), v0); });
+  EXPECT_EQ(actual.anchor_client, expected.anchor_client);
+  EXPECT_EQ(actual.placement.site_of, expected.placement.site_of);
+  EXPECT_NEAR(actual.avg_network_delay, expected.avg_network_delay,
+              1e-12 * std::max(1.0, expected.avg_network_delay));
+}
+
+TEST(ObjectiveIterative, ObjectiveOverloadMatchesBareAlpha) {
+  const LatencyMatrix m = net::small_synth(12, 1013);
+  const quorum::GridQuorum grid{2};
+  const std::vector<double> caps(m.size(), 1.0);
+  IterativeOptions options;
+  options.max_iterations = 2;
+  const LoadAwareObjective objective{7.0};
+  const IterativeResult via_objective =
+      iterative_placement(m, grid, caps, objective, options);
+  const IterativeResult via_alpha = iterative_placement(m, grid, caps, 7.0, options);
+  EXPECT_EQ(via_objective.placement.site_of, via_alpha.placement.site_of);
+  EXPECT_DOUBLE_EQ(via_objective.avg_response, via_alpha.avg_response);
+}
+
+TEST(QuorumLoadHook, CachedUniformLoadMatchesVirtual) {
+  for (const SystemCase& test_case : all_systems()) {
+    const std::vector<double> direct = test_case.system->uniform_load();
+    const std::span<const double> cached = test_case.system->uniform_load_cached();
+    ASSERT_EQ(cached.size(), direct.size()) << test_case.label;
+    for (std::size_t u = 0; u < direct.size(); ++u) {
+      EXPECT_DOUBLE_EQ(cached[u], direct[u]) << test_case.label << " element " << u;
+    }
+    // Second call returns the identical storage (memoized).
+    EXPECT_EQ(test_case.system->uniform_load_cached().data(), cached.data());
+  }
+}
+
+}  // namespace
+}  // namespace qp::core
