@@ -8,20 +8,30 @@
 //                              weights (average_uniform_network_delay_ws);
 //   * delta candidate        — DeltaEvaluator::objective_if_moved, O(log n)
 //                              or O(k) per client instead of a full rebuild;
-//   * local search           — naive vs delta engines end-to-end, for both
-//                              the network-delay (alpha = 0) and load-aware
-//                              (alpha > 0) objectives, plus the parallel
-//                              neighborhood scan and the first-improvement
-//                              accept strategy;
+//   * local search           — naive vs delta engines end-to-end, for the
+//                              network-delay (alpha = 0), load-aware
+//                              (alpha > 0), and §6 closest-strategy
+//                              objectives (uniform and demand-weighted),
+//                              plus the parallel neighborhood scan and the
+//                              first-improvement accept strategy;
+//   * fill kernels           — the fill_element_distances gather, scalar on
+//                              baseline x86-64 and vpgatherqpd under
+//                              ENABLE_AVX2 (the avx2 counter records which
+//                              variant this binary is);
 //   * simd kernels           — the common/simd_kernels.hpp reductions every
 //                              per-client evaluation bottoms out in.
 // The headline counters are speedup_vs_naive for delta local search, which
-// the acceptance criteria pin at >= 5x for alpha = 0 AND alpha > 0.
+// the acceptance criteria pin at >= 5x for alpha = 0, alpha > 0, AND the
+// closest-strategy objective.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <iostream>
 #include <memory>
+#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -85,10 +95,22 @@ int main(int argc, char** argv) {
                            core::Placement{rng.sample_without_replacement(matrix.size(), 49)}});
 
   // --- Headline comparison: naive vs delta local search, identical rounds,
-  // for both objectives. Two rounds bound the naive runtime while exercising
-  // a full neighborhood scan per round (49 elements x 151 free sites x 200
-  // clients). alpha = 0.007 * 4000 matches the §7 mid-demand level.
+  // across the objective zoo. Two rounds bound the naive runtime while
+  // exercising a full neighborhood scan per round (49 elements x 151 free
+  // sites x 200 clients). alpha = 0.007 * 4000 matches the §7 mid-demand
+  // level; the closest rows add the §6 argmin-quorum objective, uniform and
+  // Pareto-demand-weighted.
   const core::LoadAwareObjective load_aware = core::LoadAwareObjective::for_demand(4000.0);
+  const core::ClosestStrategyObjective closest = core::ClosestStrategyObjective::for_demand(4000.0);
+  std::vector<double> pareto_demand(matrix.size());
+  {
+    common::Rng demand_rng{2026};
+    for (double& d : pareto_demand) {
+      d = 4000.0 * std::pow(1.0 - demand_rng.uniform(), -1.0 / 1.6);
+    }
+  }
+  const core::ClosestStrategyObjective closest_weighted =
+      core::ClosestStrategyObjective::for_demand(std::span<const double>{pareto_demand});
   core::LocalSearchOptions naive_options;
   naive_options.engine = core::LocalSearchEngine::Naive;
   naive_options.max_rounds = 2;
@@ -107,16 +129,19 @@ int main(int argc, char** argv) {
     double parallel_ms;
     double speedup;
   };
+  const std::vector<std::pair<std::string, const core::Objective*>> objectives{
+      {"alpha0", &core::network_delay_objective()},
+      {"load_aware", &load_aware},
+      {"closest", &closest},
+      {"closest_weighted", &closest_weighted},
+  };
   std::vector<Row> rows;
   for (const Config& config : configs) {
-    for (const core::Objective* objective :
-         {&core::network_delay_objective(),
-          static_cast<const core::Objective*>(&load_aware)}) {
+    for (const auto& [label, objective] : objectives) {
       core::LocalSearchOptions naive_obj = naive_options;
       core::LocalSearchOptions delta_obj = delta_options;
       core::LocalSearchOptions parallel_obj = parallel_options;
       naive_obj.objective = delta_obj.objective = parallel_obj.objective = objective;
-      const std::string label = objective->alpha() == 0.0 ? "alpha0" : "load_aware";
       const double naive_ms =
           time_local_search_ms(matrix, *config.system, config.placement, naive_obj);
       const double delta_ms =
@@ -238,6 +263,48 @@ int main(int argc, char** argv) {
             element = (element + 1) % config.placement.universe_size();
             benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
           }
+        });
+    benchmark::RegisterBenchmark(
+        ("EvalKernels/delta_candidate_closest/" + config.label).c_str(),
+        [&matrix, &config, &closest](benchmark::State& state) {
+          const core::DeltaEvaluator eval{matrix, *config.system, config.placement,
+                                          closest};
+          std::size_t site = 0;
+          std::size_t element = 0;
+          for (auto _ : state) {
+            site = (site + 1) % matrix.size();
+            element = (element + 1) % config.placement.universe_size();
+            benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+          }
+        });
+  }
+
+  // --- The fill_element_distances gather (scalar on baseline x86-64,
+  // vpgatherqpd under ENABLE_AVX2). The avx2 counter records the variant, so
+  // the two builds' rows land side by side after merge_shards.py. n = 49 is
+  // the paper's largest universe; n = 2048 is a many-to-one stress shape.
+  for (const std::size_t universe : {std::size_t{49}, std::size_t{2048}}) {
+    common::Rng gather_rng{universe};
+    core::Placement placement;
+    placement.site_of.resize(universe);
+    for (std::size_t u = 0; u < universe; ++u) {
+      placement.site_of[u] = static_cast<std::size_t>(gather_rng.below(matrix.size()));
+    }
+    benchmark::RegisterBenchmark(
+        ("EvalKernels/fill_element_distances/n=" + std::to_string(universe)).c_str(),
+        [&matrix, placement](benchmark::State& state) {
+          std::vector<double> out;
+          std::size_t client = 0;
+          for (auto _ : state) {
+            client = (client + 1) % matrix.size();
+            core::fill_element_distances(matrix, placement, client, out);
+            benchmark::DoNotOptimize(out.data());
+          }
+#if defined(__AVX2__)
+          state.counters["avx2"] = 1.0;
+#else
+          state.counters["avx2"] = 0.0;
+#endif
         });
   }
 

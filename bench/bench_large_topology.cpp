@@ -1,9 +1,11 @@
 // Large-topology figure (beyond the paper's §7): constructive placements vs
-// load-aware local optima on daxlist-161 (n = 49, 161 clients) and the
-// synthetic 500-site scenario, both with power-law client demand. Exercises
-// the whole new stack end-to-end: scenario generator -> objective-scored
-// constructive placement -> load-aware incremental local search -> figure
-// rows. The local-opt rows quantify how much response time the paper's
+// local optima on daxlist-161 (n = 49, 161 clients) and the synthetic
+// 500-site scenario, both with power-law client demand — under the
+// demand-weighted load-aware (§7 balanced) AND closest-strategy (§6)
+// objectives. Exercises the whole new stack end-to-end: scenario generator
+// -> demand-weighted objective-scored constructive placement -> incremental
+// local search (quorum-choice tables for the closest rows) -> figure rows.
+// The local-opt rows quantify how much response time the paper's
 // constructions leave on the table once load matters; stage_ms records the
 // wall-clock the DeltaEvaluator engine needs at 500 sites.
 #include <benchmark/benchmark.h>
@@ -32,12 +34,11 @@ const sim::Scenario& synth500() {
 
 // Timing kernel: one load-aware candidate evaluation on the 500-site
 // scenario (Grid 7x7) — the inner operation the local search performs
-// ~22k times per round.
+// ~22k times per round. Demand-weighted (the scenario's Pareto vector).
 void BM_LoadAwareDeltaCandidate500(benchmark::State& state) {
   const sim::Scenario& scenario = synth500();
   const quorum::GridQuorum grid{7};
-  const core::LoadAwareObjective objective =
-      core::LoadAwareObjective::for_demand(scenario.mean_demand());
+  const core::LoadAwareObjective objective = scenario.load_objective();
   const core::Placement placement =
       core::best_grid_placement(scenario.matrix, 7).placement;
   const core::DeltaEvaluator eval{scenario.matrix, grid, placement, objective};
@@ -50,6 +51,25 @@ void BM_LoadAwareDeltaCandidate500(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LoadAwareDeltaCandidate500)->Unit(benchmark::kMicrosecond);
+
+// Same shape for the §6 closest-strategy objective: the quorum-choice
+// tables answer the candidate, repricing only flipped choices.
+void BM_ClosestDeltaCandidate500(benchmark::State& state) {
+  const sim::Scenario& scenario = synth500();
+  const quorum::GridQuorum grid{7};
+  const core::ClosestStrategyObjective objective = scenario.closest_objective();
+  const core::Placement placement =
+      core::best_grid_placement(scenario.matrix, 7).placement;
+  const core::DeltaEvaluator eval{scenario.matrix, grid, placement, objective};
+  std::size_t site = 0;
+  std::size_t element = 0;
+  for (auto _ : state) {
+    site = (site + 1) % scenario.matrix.size();
+    element = (element + 1) % placement.universe_size();
+    benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+  }
+}
+BENCHMARK(BM_ClosestDeltaCandidate500)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
@@ -65,7 +85,7 @@ int main(int argc, char** argv) {
 
   for (const auto& p : points) {
     qp::bench::register_point(
-        "LargeTopology/" + p.scenario + "/" + p.system + "/" + p.stage,
+        "LargeTopology/" + p.scenario + "/" + p.system + "/" + p.objective + "/" + p.stage,
         [p](benchmark::State& state) {
           state.counters["response_ms"] = p.response_ms;
           state.counters["network_delay_ms"] = p.network_delay_ms;

@@ -40,7 +40,10 @@ BENCHMARK(BM_ClosestQuorums)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   std::cout << "# Figure 6.5: Grid on daxlist-161 (synthetic), demand = 16000\n";
   const std::vector<double> demands{16'000.0};
-  const auto points = qp::eval::grid_demand_sweep(topology(), demands);
+  // QP_POINT_SHARD (run_all.sh --points K/N) selects a slice of the
+  // (side, demand) points so this expensive figure can fan out across hosts.
+  const auto points = qp::eval::grid_demand_sweep(topology(), demands, 0, {},
+                                                  qp::eval::point_shard_from_env());
   qp::eval::print_csv(std::cout, points);
 
   for (const auto& p : points) {

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   std::cout << "# Figure 7.6: Grid on Planetlab-50 (synthetic), demand = 16000,\n"
             << "# LP access strategies at uniform capacity levels\n";
   qp::eval::CapacitySweepConfig config;  // Defaults: sides 2..7, 10 levels.
+  config.shard = qp::eval::point_shard_from_env();  // run_all.sh --points K/N.
   const auto points = qp::eval::capacity_sweep(topology(), config);
   qp::eval::print_csv(std::cout, points);
 

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
             << "# uniform vs non-uniform capacities\n";
   qp::eval::CapacitySweepConfig config;
   config.include_nonuniform = true;
+  config.shard = qp::eval::point_shard_from_env();  // run_all.sh --points K/N.
   const auto points = qp::eval::capacity_sweep(topology(), config);
   qp::eval::print_csv(std::cout, points);
 

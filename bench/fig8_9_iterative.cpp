@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   std::cout << "# Figure 8.9: iterative many-to-one, 5x5 Grid on Planetlab-50 (synthetic)\n"
             << "# (anchor search restricted to the 12 most central sites)\n";
   qp::eval::IterativeSweepConfig config;  // side = 5, 10 levels, 12 anchors.
+  config.shard = qp::eval::point_shard_from_env();  // run_all.sh --points K/N.
   const auto points = qp::eval::iterative_sweep(topology(), config);
   qp::eval::print_csv(std::cout, points);
 

@@ -12,10 +12,13 @@ produce disjoint figures, but the merge also handles overlapping files:
     benchmark name (first occurrence wins); the first shard's "context" is
     kept and a warning is printed if another shard's git_sha differs (mixed
     revisions make the numbers non-comparable).
-  * *.csv        — first occurrence wins. Figure CSVs embed wall-clock
-    columns, so two runs of the same figure are never byte-identical; a
-    differing duplicate therefore only warns (matching the JSON side)
-    instead of failing the merge.
+  * *.csv        — merged row-wise when the headers match: rows from later
+    shards that are not already present are appended (per-point shards via
+    run_all.sh --points produce disjoint row sets of one figure, and this
+    union reassembles the full series). Two full runs of the same figure
+    embed differing wall-clock columns; their rows are unioned too, with a
+    warning, so check the data columns if an overlap was unexpected. A
+    duplicate with a *different header* only warns and keeps the first.
 
 Exit status is non-zero on malformed JSON or no inputs.
 """
@@ -58,13 +61,32 @@ def merge_csv(target: Path, source: Path) -> None:
     if not target.exists():
         shutil.copyfile(source, target)
         return
-    if target.read_bytes() != source.read_bytes():
+    if target.read_bytes() == source.read_bytes():
+        return
+    merged_lines = target.read_text().splitlines()
+    source_lines = source.read_text().splitlines()
+    if not merged_lines or not source_lines or merged_lines[0] != source_lines[0]:
         print(
-            f"warning: {source} differs from already-merged {target.name}; "
-            f"keeping the first (timing columns differ between runs; check "
-            f"the figure data columns if this is unexpected)",
+            f"warning: {source} header differs from already-merged "
+            f"{target.name}; keeping the first",
             file=sys.stderr,
         )
+        return
+    # Same figure, different rows: a per-point shard (disjoint rows) or a
+    # re-run (rows differing only in wall-clock columns). Union the rows in
+    # first-seen order; warn so overlapping re-runs are noticed.
+    seen = set(merged_lines)
+    appended = [line for line in source_lines[1:] if line not in seen]
+    if appended:
+        print(
+            f"note: appending {len(appended)} row(s) from {source} to "
+            f"{target.name} (point-sharded figure or re-run; check the data "
+            f"columns if an overlap was unexpected)",
+            file=sys.stderr,
+        )
+        with target.open("a") as fh:
+            for line in appended:
+                fh.write(line + "\n")
 
 
 def main(argv: list[str]) -> int:

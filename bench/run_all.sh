@@ -3,13 +3,18 @@
 # BENCH_<name>.json (google-benchmark JSON) plus the figure's CSV series
 # per binary.  Seeds the perf trajectory the ROADMAP north-star tracks.
 #
-# Usage:  bench/run_all.sh [output-dir] [--shard K/N]
+# Usage:  bench/run_all.sh [output-dir] [--shard K/N] [--points K/N]
 #   --shard K/N    run only the K-th of N shards (1-based): every N-th
 #                  figure binary, interleaved, so N hosts (or processes) can
 #                  split the sweep and later combine their output dirs with
-#                  bench/merge_shards.py. Current granularity is one figure
-#                  per shard slot; per-point sharding is the recorded
-#                  follow-on.
+#                  bench/merge_shards.py.
+#   --points K/N   per-point sharding *below* figure granularity: every
+#                  figure binary runs, but each one computes only the K-th of
+#                  N interleaved point slices of its sweep (exported as
+#                  QP_POINT_SHARD; see eval::point_shard_from_env). Lets one
+#                  expensive figure (e.g. fig6_5 at 16000 demand) fan out
+#                  across hosts; recombine with bench/merge_shards.py, which
+#                  unions the per-figure benchmark arrays and CSV rows.
 #   BUILD_DIR=...  override the build tree (default: build/release)
 #   FILTER=regex   only run benchmarks whose name matches the regex
 set -euo pipefail
@@ -20,6 +25,7 @@ FILTER="${FILTER:-}"
 
 OUT_DIR=""
 SHARD=""
+POINTS=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --shard)
@@ -28,6 +34,14 @@ while [[ $# -gt 0 ]]; do
       ;;
     --shard=*)
       SHARD="${1#--shard=}"
+      shift
+      ;;
+    --points)
+      POINTS="${2:?--points requires K/N}"
+      shift 2
+      ;;
+    --points=*)
+      POINTS="${1#--points=}"
       shift
       ;;
     *)
@@ -55,6 +69,19 @@ if [[ -n "${SHARD}" ]]; then
     echo "error: --shard K/N requires 1 <= K <= N" >&2
     exit 1
   fi
+fi
+
+if [[ -n "${POINTS}" ]]; then
+  if [[ ! "${POINTS}" =~ ^([0-9]+)/([0-9]+)$ ]]; then
+    echo "error: --points expects K/N (e.g. --points 2/4), got '${POINTS}'" >&2
+    exit 1
+  fi
+  if (( BASH_REMATCH[2] < 1 || BASH_REMATCH[1] < 1 || BASH_REMATCH[1] > BASH_REMATCH[2] )); then
+    echo "error: --points K/N requires 1 <= K <= N" >&2
+    exit 1
+  fi
+  # The figure binaries read this themselves (eval::point_shard_from_env).
+  export QP_POINT_SHARD="${POINTS}"
 fi
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
@@ -119,8 +146,8 @@ if [[ "${ran}" -eq 0 ]]; then
   exit 1
 fi
 
-if (( SHARD_N > 1 )); then
-  echo "Wrote ${ran} BENCH_*.json files to ${OUT_DIR} (shard ${SHARD_K}/${SHARD_N})"
+if (( SHARD_N > 1 )) || [[ -n "${POINTS}" ]]; then
+  echo "Wrote ${ran} BENCH_*.json files to ${OUT_DIR} (shard ${SHARD_K}/${SHARD_N}, points ${POINTS:-1/1})"
   echo "Combine shard output dirs with: bench/merge_shards.py <merged-dir> <shard-dir>..."
 else
   echo "Wrote ${ran} BENCH_*.json files to ${OUT_DIR}"

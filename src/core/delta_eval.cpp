@@ -8,12 +8,43 @@
 
 #include "common/simd_kernels.hpp"
 #include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
 
 namespace qp::core {
 
 namespace {
 
 constexpr std::size_t kEnumerationLimit = 50'000;
+
+/// Value at (0-based) rank `r` of the ascending row `y` (length n) after
+/// removing one copy of `removed` (which must be present) and inserting
+/// `inserted` — the patched order statistic, in O(log n) without touching
+/// the row.
+double patched_sorted_rank(const double* y, std::size_t n, double removed, double inserted,
+                           std::size_t r) {
+  const double* end = y + n;
+  const std::size_t p = static_cast<std::size_t>(std::lower_bound(y, end, removed) - y);
+  std::size_t i = static_cast<std::size_t>(std::lower_bound(y, end, inserted) - y);
+  if (p < i) --i;  // The removed copy sits below the insertion point.
+  const auto without = [&](std::size_t j) { return y[j >= p ? j + 1 : j]; };
+  if (r < i) return without(r);
+  if (r == i) return inserted;
+  return without(r - 1);
+}
+
+/// Visits the elements of Grid quorum (row r, column c) in ascending element
+/// order — the order charge_quorum sees from a sorted Quorum, so load
+/// accumulation matches site_loads_closest bitwise.
+template <typename Fn>
+void for_each_grid_element(std::size_t k, std::size_t r, std::size_t c, Fn&& fn) {
+  for (std::size_t rr = 0; rr < k; ++rr) {
+    if (rr == r) {
+      for (std::size_t cc = 0; cc < k; ++cc) fn(r * k + cc);
+    } else {
+      fn(rr * k + c);
+    }
+  }
+}
 
 }  // namespace
 
@@ -32,6 +63,29 @@ DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
     throw std::invalid_argument{"DeltaEvaluator: placement size != universe size"};
   }
   alpha_ = objective.alpha();
+  client_weight_ = objective.client_weights();
+  if (!client_weight_.empty() && client_weight_.size() != clients_) {
+    throw std::invalid_argument{"DeltaEvaluator: client weight count != clients"};
+  }
+  if (objective.access_strategy() == AccessStrategy::Closest) {
+    closest_ = true;
+    if (const auto* grid = dynamic_cast<const quorum::GridQuorum*>(&system)) {
+      mode_ = Mode::ClosestGrid;
+      side_ = grid->side();
+    } else if (const auto* majority =
+                   dynamic_cast<const quorum::MajorityQuorum*>(&system)) {
+      mode_ = Mode::ClosestMajority;
+      majority_q_ = majority->quorum_size();
+    } else if (system.enumerable(kEnumerationLimit)) {
+      mode_ = Mode::ClosestEnumerated;
+    } else {
+      throw std::invalid_argument{
+          "DeltaEvaluator: closest-strategy objective requires a Grid, Majority, "
+          "or enumerable quorum system"};
+    }
+    rebuild();
+    return;
+  }
   lambda_ = objective.element_loads(system);
   load_aware_ = alpha_ != 0.0 && !lambda_.empty();
   if (load_aware_ && lambda_.size() != n_) {
@@ -63,7 +117,12 @@ DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
     : DeltaEvaluator(matrix, system, placement, network_delay_objective()) {}
 
 double DeltaEvaluator::objective() const noexcept {
-  return base_total_ / static_cast<double>(clients_);
+  return client_weight_.empty() ? base_total_ / static_cast<double>(clients_)
+                                : base_total_;
+}
+
+double DeltaEvaluator::charge_weight(std::size_t v) const noexcept {
+  return client_weight_.empty() ? 1.0 / static_cast<double>(clients_) : client_weight_[v];
 }
 
 void DeltaEvaluator::gather_values(std::size_t v, double* out) const {
@@ -78,7 +137,84 @@ void DeltaEvaluator::gather_values(std::size_t v, double* out) const {
   }
 }
 
+void DeltaEvaluator::rebuild_sorted_client(std::size_t v) {
+  const double* w = weights_.data();
+  const double* y = sorted_.data() + v * n_;
+  double expectation = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) expectation += y[i] * w[i];
+  client_sum_[v] = expectation;
+  // A[j] = sum_{i<j} y[i] (w[i+1] - w[i]) — the expectation change when
+  // the j smallest values all shift one rank up (an insertion below
+  // them); B[j] = sum_{1<=i<j} y[i] (w[i-1] - w[i]) — one rank down.
+  double* a = shift_up_.data() + v * n_;
+  double* b = shift_down_.data() + v * (n_ + 1);
+  a[0] = 0.0;
+  for (std::size_t j = 1; j < n_; ++j) a[j] = a[j - 1] + y[j - 1] * (w[j] - w[j - 1]);
+  b[0] = 0.0;
+  if (n_ >= 1) b[1] = 0.0;
+  for (std::size_t j = 2; j <= n_; ++j) {
+    b[j] = b[j - 1] + y[j - 1] * (w[j - 2] - w[j - 1]);
+  }
+}
+
+void DeltaEvaluator::repair_grid_client_tables(std::size_t v, std::size_t r0,
+                                               std::size_t c0) {
+  const std::size_t k = side_;
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  const double* vals = values_.data() + v * n_;
+  double* rm = row_max_.data() + v * k;
+  double* cm = col_max_.data() + v * k;
+  double m = neg_inf;
+  for (std::size_t c = 0; c < k; ++c) m = std::max(m, vals[r0 * k + c]);
+  rm[r0] = m;
+  m = neg_inf;
+  for (std::size_t r = 0; r < k; ++r) m = std::max(m, vals[r * k + c0]);
+  cm[c0] = m;
+  // Only row r0's row-exclusions and column c0's column-exclusions depend
+  // on the changed cell.
+  double* rex = row_excl_.data() + v * n_;
+  double* cex = col_excl_.data() + v * n_;
+  for (std::size_t c = 0; c < k; ++c) {
+    double without = neg_inf;
+    for (std::size_t o = 0; o < k; ++o) {
+      if (o != c) without = std::max(without, vals[r0 * k + o]);
+    }
+    rex[r0 * k + c] = without;
+  }
+  for (std::size_t r = 0; r < k; ++r) {
+    double without = neg_inf;
+    for (std::size_t o = 0; o < k; ++o) {
+      if (o != r) without = std::max(without, vals[o * k + c0]);
+    }
+    cex[r * k + c0] = without;
+  }
+}
+
+void DeltaEvaluator::rebuild_grid_client_sums(std::size_t v) {
+  const std::size_t k = side_;
+  const double* rm = row_max_.data() + v * k;
+  const double* cm = col_max_.data() + v * k;
+  double* rqs = row_quorum_sum_.data() + v * k;
+  double* cqs = col_quorum_sum_.data() + v * k;
+  std::fill(rqs, rqs + k, 0.0);
+  std::fill(cqs, cqs + k, 0.0);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const double quorum_max = std::max(rm[r], cm[c]);
+      rqs[r] += quorum_max;
+      cqs[c] += quorum_max;
+      sum += quorum_max;
+    }
+  }
+  client_sum_[v] = sum;
+}
+
 void DeltaEvaluator::rebuild() {
+  if (closest_) {
+    rebuild_closest();
+    return;
+  }
   if (load_aware_) {
     // Per-site load tables, recomputed from scratch so drift cannot
     // accumulate across moves.
@@ -100,27 +236,12 @@ void DeltaEvaluator::rebuild() {
       sorted_.resize(clients_ * n_);
       shift_up_.resize(clients_ * n_);
       shift_down_.resize(clients_ * (n_ + 1));
-      const double* w = weights_.data();
       for (std::size_t v = 0; v < clients_; ++v) {
         double* y = sorted_.data() + v * n_;
         gather_values(v, y);
         std::sort(y, y + n_);
-        double expectation = 0.0;
-        for (std::size_t i = 0; i < n_; ++i) expectation += y[i] * w[i];
-        client_sum_[v] = expectation;
-        base_total_ += expectation;
-        // A[j] = sum_{i<j} y[i] (w[i+1] - w[i]) — the expectation change when
-        // the j smallest values all shift one rank up (an insertion below
-        // them); B[j] = sum_{1<=i<j} y[i] (w[i-1] - w[i]) — one rank down.
-        double* a = shift_up_.data() + v * n_;
-        double* b = shift_down_.data() + v * (n_ + 1);
-        a[0] = 0.0;
-        for (std::size_t j = 1; j < n_; ++j) a[j] = a[j - 1] + y[j - 1] * (w[j] - w[j - 1]);
-        b[0] = 0.0;
-        if (n_ >= 1) b[1] = 0.0;
-        for (std::size_t j = 2; j <= n_; ++j) {
-          b[j] = b[j - 1] + y[j - 1] * (w[j - 2] - w[j - 1]);
-        }
+        rebuild_sorted_client(v);
+        base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) * client_sum_[v];
       }
       break;
     }
@@ -167,22 +288,9 @@ void DeltaEvaluator::rebuild() {
             cex[r * k + c] = without;
           }
         }
-        // Per-row / per-column sums of the quorum maxima.
-        double* rqs = row_quorum_sum_.data() + v * k;
-        double* cqs = col_quorum_sum_.data() + v * k;
-        std::fill(rqs, rqs + k, 0.0);
-        std::fill(cqs, cqs + k, 0.0);
-        double sum = 0.0;
-        for (std::size_t r = 0; r < k; ++r) {
-          for (std::size_t c = 0; c < k; ++c) {
-            const double quorum_max = std::max(rm[r], cm[c]);
-            rqs[r] += quorum_max;
-            cqs[c] += quorum_max;
-            sum += quorum_max;
-          }
-        }
-        client_sum_[v] = sum;
-        base_total_ += sum / static_cast<double>(n_);
+        rebuild_grid_client_sums(v);
+        base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) *
+                       (client_sum_[v] / static_cast<double>(n_));
       }
       break;
     }
@@ -202,7 +310,8 @@ void DeltaEvaluator::rebuild() {
           sum += worst;
         }
         client_sum_[v] = sum;
-        base_total_ += sum / static_cast<double>(count);
+        base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) *
+                       (sum / static_cast<double>(count));
       }
       break;
     }
@@ -215,10 +324,85 @@ void DeltaEvaluator::rebuild() {
         const double expectation = system_->expected_max_uniform_scratch(
             std::span<const double>{vals, n_}, scratch);
         client_sum_[v] = expectation;
-        base_total_ += expectation;
+        base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) * expectation;
       }
       break;
     }
+    default:
+      break;  // Closest modes handled above.
+  }
+}
+
+void DeltaEvaluator::repair_single(std::size_t element, std::size_t site,
+                                   std::size_t old_site, double old_add, double new_add) {
+  base_total_ = 0.0;
+  switch (mode_) {
+    case Mode::SortedWeights: {
+      for (std::size_t v = 0; v < clients_; ++v) {
+        const std::vector<double>& rtt = matrix_->row(v);
+        const double old_value = rtt[old_site] + old_add;
+        const double new_value = rtt[site] + new_add;
+        double* y = sorted_.data() + v * n_;
+        double* end = y + n_;
+        // Remove the (bit-exact) old value, insert the new one: the row's
+        // contents match a from-scratch sort of the updated multiset.
+        double* p = std::lower_bound(y, end, old_value);
+        assert(p != end && *p == old_value);
+        std::copy(p + 1, end, p);
+        double* ins = std::lower_bound(y, end - 1, new_value);
+        std::copy_backward(ins, end - 1, end);
+        *ins = new_value;
+        rebuild_sorted_client(v);
+        base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) * client_sum_[v];
+      }
+      break;
+    }
+    case Mode::Grid: {
+      const std::size_t k = side_;
+      const std::size_t r0 = element / k;
+      const std::size_t c0 = element % k;
+      for (std::size_t v = 0; v < clients_; ++v) {
+        values_[v * n_ + element] = matrix_->row(v)[site] + new_add;
+        repair_grid_client_tables(v, r0, c0);
+        rebuild_grid_client_sums(v);
+        base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) *
+                       (client_sum_[v] / static_cast<double>(n_));
+      }
+      break;
+    }
+    case Mode::Enumerated: {
+      const std::size_t count = quorums_.size();
+      for (std::size_t v = 0; v < clients_; ++v) {
+        double* vals = values_.data() + v * n_;
+        vals[element] = matrix_->row(v)[site] + new_add;
+        double* qmax = quorum_max_.data() + v * count;
+        for (std::size_t l : incident_[element]) {
+          double worst = -std::numeric_limits<double>::infinity();
+          for (std::size_t u : quorums_[l]) worst = std::max(worst, vals[u]);
+          qmax[l] = worst;
+        }
+        double sum = 0.0;
+        for (std::size_t l = 0; l < count; ++l) sum += qmax[l];
+        client_sum_[v] = sum;
+        base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) *
+                       (sum / static_cast<double>(count));
+      }
+      break;
+    }
+    case Mode::Recompute: {
+      std::vector<double> scratch;
+      for (std::size_t v = 0; v < clients_; ++v) {
+        double* vals = values_.data() + v * n_;
+        vals[element] = matrix_->row(v)[site] + new_add;
+        const double expectation = system_->expected_max_uniform_scratch(
+            std::span<const double>{vals, n_}, scratch);
+        client_sum_[v] = expectation;
+        base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) * expectation;
+      }
+      break;
+    }
+    default:
+      break;  // Closest modes never reach the balanced repair.
   }
 }
 
@@ -271,9 +455,10 @@ double DeltaEvaluator::objective_if_moved_general(std::size_t element,
       const std::size_t s = u == element ? site : placement_.site_of[u];
       tl_values[u] = rtt[s] + tl_term[s];
     }
-    total += system_->expected_max_uniform_scratch(tl_values, tl_scratch);
+    const double expectation = system_->expected_max_uniform_scratch(tl_values, tl_scratch);
+    total += (client_weight_.empty() ? 1.0 : client_weight_[v]) * expectation;
   }
-  return total / static_cast<double>(clients_);
+  return client_weight_.empty() ? total / static_cast<double>(clients_) : total;
 }
 
 double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site) const {
@@ -281,6 +466,7 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
   assert(site < matrix_->size());
   const std::size_t old_site = placement_.site_of[element];
   if (site == old_site) return objective();
+  if (closest_) return closest_if_moved(element, site);
   // Per-coordinate additive load terms of the candidate values. The cached
   // tables answer single-coordinate moves only; a load-aware move touching a
   // co-hosted site perturbs other coordinates too and takes the general path.
@@ -298,8 +484,10 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
     case Mode::SortedWeights: {
       for (std::size_t v = 0; v < clients_; ++v) {
         const std::vector<double>& rtt = matrix_->row(v);
-        total += client_sum_[v] +
-                 client_delta_sorted(v, rtt[old_site] + old_add, rtt[site] + new_add);
+        const double term =
+            client_sum_[v] +
+            client_delta_sorted(v, rtt[old_site] + old_add, rtt[site] + new_add);
+        total += (client_weight_.empty() ? 1.0 : client_weight_[v]) * term;
       }
       break;
     }
@@ -327,7 +515,8 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
             col_quorum_sum_[v * k + c0] - std::max(rm[r0], cm[c0]);
         const double delta =
             (row_part - row_quorum_sum_[v * k + r0]) + (col_part - old_col_part);
-        total += (client_sum_[v] + delta) / static_cast<double>(n_);
+        total += (client_weight_.empty() ? 1.0 : client_weight_[v]) *
+                 ((client_sum_[v] + delta) / static_cast<double>(n_));
       }
       break;
     }
@@ -345,7 +534,8 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
           }
           delta += worst - qmax[l];
         }
-        total += (client_sum_[v] + delta) / static_cast<double>(count);
+        total += (client_weight_.empty() ? 1.0 : client_weight_[v]) *
+                 ((client_sum_[v] + delta) / static_cast<double>(count));
       }
       break;
     }
@@ -358,22 +548,429 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
         const double* vals = values_.data() + v * n_;
         tl_values.assign(vals, vals + n_);
         tl_values[element] = matrix_->row(v)[site] + new_add;
-        total += system_->expected_max_uniform_scratch(tl_values, tl_scratch);
+        const double expectation =
+            system_->expected_max_uniform_scratch(tl_values, tl_scratch);
+        total += (client_weight_.empty() ? 1.0 : client_weight_[v]) * expectation;
       }
       break;
     }
+    default:
+      break;  // Closest modes dispatched above.
   }
-  return total / static_cast<double>(clients_);
+  return client_weight_.empty() ? total / static_cast<double>(clients_) : total;
+}
+
+// ---------------------------------------------------------------- Closest.
+
+void DeltaEvaluator::majority_chosen_patched(std::size_t v, std::size_t element,
+                                             double patched,
+                                             std::vector<std::size_t>& out) const {
+  // Replicates MajorityQuorum::best_quorum exactly: the q smallest elements
+  // by (value, index). The threshold t is the q-th smallest patched value;
+  // everything strictly below t is chosen, ties at t fill the remaining
+  // quota in ascending element order.
+  const double* vals = values_.data() + v * n_;
+  const double* y = sorted_.data() + v * n_;
+  const double d_old = vals[element];
+  const double t = patched_sorted_rank(y, n_, d_old, patched, majority_q_ - 1);
+  std::size_t less = 0;
+  for (std::size_t u = 0; u < n_; ++u) {
+    const double x = u == element ? patched : vals[u];
+    if (x < t) ++less;
+  }
+  std::size_t quota = majority_q_ - less;
+  for (std::size_t u = 0; u < n_; ++u) {
+    const double x = u == element ? patched : vals[u];
+    if (x < t) {
+      out.push_back(u);
+    } else if (x == t && quota > 0) {
+      out.push_back(u);
+      --quota;
+    }
+  }
+}
+
+void DeltaEvaluator::rebuild_closest() {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::size_t k = side_;
+  values_.resize(clients_ * n_);
+  best_value_.resize(clients_);
+  client_sum_.resize(clients_);
+  chosen_quorum_.assign(clients_, {});
+  if (mode_ == Mode::ClosestMajority) {
+    sorted_.resize(clients_ * n_);
+    second_value_.resize(clients_);
+    in_best_.assign(clients_ * n_, 0);
+  } else if (mode_ == Mode::ClosestGrid) {
+    row_max_.resize(clients_ * k);
+    col_max_.resize(clients_ * k);
+    row_excl_.resize(clients_ * n_);
+    col_excl_.resize(clients_ * n_);
+    chosen_row_.resize(clients_);
+    chosen_col_.resize(clients_);
+  } else {
+    in_best_.assign(clients_ * n_, 0);
+  }
+  for (std::size_t v = 0; v < clients_; ++v) {
+    const std::vector<double>& rtt = matrix_->row(v);
+    double* vals = values_.data() + v * n_;
+    for (std::size_t u = 0; u < n_; ++u) vals[u] = rtt[placement_.site_of[u]];
+    switch (mode_) {
+      case Mode::ClosestMajority: {
+        double* y = sorted_.data() + v * n_;
+        std::copy(vals, vals + n_, y);
+        std::sort(y, y + n_);
+        best_value_[v] = y[majority_q_ - 1];
+        second_value_[v] = majority_q_ < n_ ? y[majority_q_] : inf;
+        // Chosen set = q smallest by (value, index): everything strictly
+        // below the threshold, ties in ascending element order.
+        quorum::Quorum& chosen = chosen_quorum_[v];
+        chosen.clear();
+        const double t = best_value_[v];
+        std::size_t less = 0;
+        for (std::size_t u = 0; u < n_; ++u) less += vals[u] < t ? 1 : 0;
+        std::size_t quota = majority_q_ - less;
+        for (std::size_t u = 0; u < n_; ++u) {
+          if (vals[u] < t) {
+            chosen.push_back(u);
+          } else if (vals[u] == t && quota > 0) {
+            chosen.push_back(u);
+            --quota;
+          }
+        }
+        for (std::size_t e : chosen) in_best_[v * n_ + e] = 1;
+        break;
+      }
+      case Mode::ClosestGrid: {
+        const double neg_inf = -inf;
+        double* rm = row_max_.data() + v * k;
+        double* cm = col_max_.data() + v * k;
+        std::fill(rm, rm + k, neg_inf);
+        std::fill(cm, cm + k, neg_inf);
+        for (std::size_t r = 0; r < k; ++r) {
+          for (std::size_t c = 0; c < k; ++c) {
+            const double x = vals[r * k + c];
+            rm[r] = std::max(rm[r], x);
+            cm[c] = std::max(cm[c], x);
+          }
+        }
+        double* rex = row_excl_.data() + v * n_;
+        double* cex = col_excl_.data() + v * n_;
+        for (std::size_t r = 0; r < k; ++r) {
+          for (std::size_t c = 0; c < k; ++c) {
+            double without = neg_inf;
+            for (std::size_t o = 0; o < k; ++o) {
+              if (o != c) without = std::max(without, vals[r * k + o]);
+            }
+            rex[r * k + c] = without;
+            without = neg_inf;
+            for (std::size_t o = 0; o < k; ++o) {
+              if (o != r) without = std::max(without, vals[o * k + c]);
+            }
+            cex[r * k + c] = without;
+          }
+        }
+        // Flattened first-wins argmin over max(rm[r], cm[c]) — exactly
+        // GridQuorum::best_quorum's scan.
+        std::size_t best = 0;
+        double best_max = inf;
+        for (std::size_t r = 0; r < k; ++r) {
+          for (std::size_t c = 0; c < k; ++c) {
+            const double val = std::max(rm[r], cm[c]);
+            if (val < best_max) {
+              best_max = val;
+              best = r * k + c;
+            }
+          }
+        }
+        chosen_row_[v] = best / k;
+        chosen_col_[v] = best % k;
+        best_value_[v] = best_max;
+        quorum::Quorum& chosen = chosen_quorum_[v];
+        chosen.clear();
+        for_each_grid_element(k, chosen_row_[v], chosen_col_[v],
+                              [&](std::size_t e) { chosen.push_back(e); });
+        break;
+      }
+      default: {  // ClosestEnumerated
+        chosen_quorum_[v] = system_->best_quorum(std::span<const double>{vals, n_});
+        double worst = 0.0;
+        for (std::size_t e : chosen_quorum_[v]) worst = std::max(worst, vals[e]);
+        best_value_[v] = worst;
+        for (std::size_t e : chosen_quorum_[v]) in_best_[v * n_ + e] = 1;
+        break;
+      }
+    }
+  }
+  rebuild_closest_loads_and_rho();
+}
+
+void DeltaEvaluator::rebuild_closest_loads_and_rho() {
+  closest_load_.assign(matrix_->size(), 0.0);
+  for (std::size_t v = 0; v < clients_; ++v) {
+    const double w = charge_weight(v);
+    for (std::size_t e : chosen_quorum_[v]) {
+      closest_load_[placement_.site_of[e]] += w;
+    }
+  }
+  base_total_ = 0.0;
+  for (std::size_t v = 0; v < clients_; ++v) {
+    const double* vals = values_.data() + v * n_;
+    double worst = 0.0;
+    for (std::size_t e : chosen_quorum_[v]) {
+      worst = std::max(worst, vals[e] + alpha_ * closest_load_[placement_.site_of[e]]);
+    }
+    client_sum_[v] = worst;
+    base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) * worst;
+  }
+}
+
+double DeltaEvaluator::closest_if_moved(std::size_t element, std::size_t site) const {
+  static thread_local std::vector<double> tl_load;
+  static thread_local std::vector<std::uint8_t> tl_state;
+  static thread_local std::vector<std::size_t> tl_off;
+  static thread_local std::vector<std::size_t> tl_len;
+  static thread_local std::vector<std::size_t> tl_chosen;
+  static thread_local std::vector<double> tl_row;
+
+  const std::size_t old_site = placement_.site_of[element];
+  const bool load = alpha_ != 0.0;
+  if (load) tl_load.assign(closest_load_.begin(), closest_load_.end());
+  tl_state.assign(clients_, 0);
+  tl_off.resize(clients_);
+  tl_len.resize(clients_);
+  tl_chosen.clear();
+
+  const std::size_t k = side_;
+  const std::size_t r0 = mode_ == Mode::ClosestGrid ? element / k : 0;
+  const std::size_t c0 = mode_ == Mode::ClosestGrid ? element % k : 0;
+
+  // Pass 1: classify every client's quorum choice (keep / keep-with-moved-u
+  // / recompute) and accumulate the load deltas of the flips.
+  for (std::size_t v = 0; v < clients_; ++v) {
+    const double d_new = matrix_->row(v)[site];
+    const bool contains_u = mode_ == Mode::ClosestGrid
+                                ? (chosen_row_[v] == r0 || chosen_col_[v] == c0)
+                                : in_best_[v * n_ + element] != 0;
+    if (!contains_u && d_new > best_value_[v]) continue;  // Provably unchanged.
+    if (mode_ == Mode::ClosestMajority && contains_u &&
+        (majority_q_ == n_ || d_new < second_value_[v])) {
+      // u keeps its slot: the chosen set is unchanged, only u's charge moves.
+      tl_state[v] = 1;
+      if (load) {
+        const double w = charge_weight(v);
+        tl_load[old_site] -= w;
+        tl_load[site] += w;
+      }
+      continue;
+    }
+    tl_state[v] = 2;
+    tl_off[v] = tl_chosen.size();
+    switch (mode_) {
+      case Mode::ClosestMajority:
+        majority_chosen_patched(v, element, d_new, tl_chosen);
+        break;
+      case Mode::ClosestGrid: {
+        const double* rm = row_max_.data() + v * k;
+        const double* cm = col_max_.data() + v * k;
+        const double nr = std::max(row_excl_[v * n_ + element], d_new);
+        const double nc = std::max(col_excl_[v * n_ + element], d_new);
+        std::size_t best = 0;
+        double best_max = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < k; ++r) {
+          const double rr = r == r0 ? nr : rm[r];
+          for (std::size_t c = 0; c < k; ++c) {
+            const double val = std::max(rr, c == c0 ? nc : cm[c]);
+            if (val < best_max) {
+              best_max = val;
+              best = r * k + c;
+            }
+          }
+        }
+        for_each_grid_element(k, best / k, best % k,
+                              [&](std::size_t e) { tl_chosen.push_back(e); });
+        break;
+      }
+      default: {  // ClosestEnumerated: Tree's DP tie-breaking is its own.
+        const double* vals = values_.data() + v * n_;
+        tl_row.assign(vals, vals + n_);
+        tl_row[element] = d_new;
+        const quorum::Quorum quorum = system_->best_quorum(tl_row);
+        tl_chosen.insert(tl_chosen.end(), quorum.begin(), quorum.end());
+        break;
+      }
+    }
+    tl_len[v] = tl_chosen.size() - tl_off[v];
+    if (load) {
+      const double w = charge_weight(v);
+      for (std::size_t e : chosen_quorum_[v]) tl_load[placement_.site_of[e]] -= w;
+      for (std::size_t i = tl_off[v]; i < tl_chosen.size(); ++i) {
+        const std::size_t e = tl_chosen[i];
+        tl_load[e == element ? site : placement_.site_of[e]] += w;
+      }
+    }
+  }
+
+  // Pass 2: reprice every client's chosen quorum under the candidate loads.
+  double total = 0.0;
+  for (std::size_t v = 0; v < clients_; ++v) {
+    double response;
+    if (tl_state[v] == 0 && !load) {
+      response = client_sum_[v];  // Neither distances nor loads changed.
+    } else {
+      const double d_new = matrix_->row(v)[site];
+      const double* vals = values_.data() + v * n_;
+      const std::size_t* ids;
+      std::size_t len;
+      if (tl_state[v] == 2) {
+        ids = tl_chosen.data() + tl_off[v];
+        len = tl_len[v];
+      } else {
+        ids = chosen_quorum_[v].data();
+        len = chosen_quorum_[v].size();
+      }
+      double worst = 0.0;
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::size_t e = ids[i];
+        const bool moved = e == element;
+        const double d = moved ? d_new : vals[e];
+        if (load) {
+          const std::size_t s = moved ? site : placement_.site_of[e];
+          worst = std::max(worst, d + alpha_ * tl_load[s]);
+        } else {
+          worst = std::max(worst, d);
+        }
+      }
+      response = worst;
+    }
+    total += (client_weight_.empty() ? 1.0 : client_weight_[v]) * response;
+  }
+  return client_weight_.empty() ? total / static_cast<double>(clients_) : total;
+}
+
+void DeltaEvaluator::apply_move_closest(std::size_t element, std::size_t site) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::size_t k = side_;
+  const std::size_t r0 = mode_ == Mode::ClosestGrid ? element / k : 0;
+  const std::size_t c0 = mode_ == Mode::ClosestGrid ? element % k : 0;
+  std::vector<std::size_t> scratch_ids;
+  for (std::size_t v = 0; v < clients_; ++v) {
+    double* vals = values_.data() + v * n_;
+    const double d_old = vals[element];
+    const double d_new = matrix_->row(v)[site];
+    const bool contains_u = mode_ == Mode::ClosestGrid
+                                ? (chosen_row_[v] == r0 || chosen_col_[v] == c0)
+                                : in_best_[v * n_ + element] != 0;
+    const bool keep = !contains_u && d_new > best_value_[v];
+    const bool keep_moved =
+        mode_ == Mode::ClosestMajority && contains_u &&
+        (majority_q_ == n_ || d_new < second_value_[v]);
+    const bool flip = !keep && !keep_moved;
+    // Identity recompute needs the pre-repair tables for Majority (the
+    // patched-rank shortcut reads the old sorted row); Grid and Enumerated
+    // rescan the repaired tables below.
+    if (flip && mode_ == Mode::ClosestMajority) {
+      scratch_ids.clear();
+      majority_chosen_patched(v, element, d_new, scratch_ids);
+    }
+    vals[element] = d_new;
+    switch (mode_) {
+      case Mode::ClosestMajority: {
+        double* y = sorted_.data() + v * n_;
+        double* end = y + n_;
+        double* p = std::lower_bound(y, end, d_old);
+        assert(p != end && *p == d_old);
+        std::copy(p + 1, end, p);
+        double* ins = std::lower_bound(y, end - 1, d_new);
+        std::copy_backward(ins, end - 1, end);
+        *ins = d_new;
+        best_value_[v] = y[majority_q_ - 1];
+        second_value_[v] = majority_q_ < n_ ? y[majority_q_] : inf;
+        if (flip) {
+          for (std::size_t e : chosen_quorum_[v]) in_best_[v * n_ + e] = 0;
+          chosen_quorum_[v].assign(scratch_ids.begin(), scratch_ids.end());
+          for (std::size_t e : chosen_quorum_[v]) in_best_[v * n_ + e] = 1;
+        }
+        break;
+      }
+      case Mode::ClosestGrid: {
+        repair_grid_client_tables(v, r0, c0);
+        const double* rm = row_max_.data() + v * k;
+        const double* cm = col_max_.data() + v * k;
+        if (flip) {
+          std::size_t best = 0;
+          double best_max = inf;
+          for (std::size_t r = 0; r < k; ++r) {
+            for (std::size_t c = 0; c < k; ++c) {
+              const double val = std::max(rm[r], cm[c]);
+              if (val < best_max) {
+                best_max = val;
+                best = r * k + c;
+              }
+            }
+          }
+          chosen_row_[v] = best / k;
+          chosen_col_[v] = best % k;
+          best_value_[v] = best_max;
+          quorum::Quorum& chosen = chosen_quorum_[v];
+          chosen.clear();
+          for_each_grid_element(k, chosen_row_[v], chosen_col_[v],
+                                [&](std::size_t e) { chosen.push_back(e); });
+        }
+        break;
+      }
+      default: {  // ClosestEnumerated
+        if (flip) {
+          for (std::size_t e : chosen_quorum_[v]) in_best_[v * n_ + e] = 0;
+          chosen_quorum_[v] = system_->best_quorum(std::span<const double>{vals, n_});
+          double worst = 0.0;
+          for (std::size_t e : chosen_quorum_[v]) worst = std::max(worst, vals[e]);
+          best_value_[v] = worst;
+          for (std::size_t e : chosen_quorum_[v]) in_best_[v * n_ + e] = 1;
+        }
+        break;
+      }
+    }
+  }
+  placement_.site_of[element] = site;
+  rebuild_closest_loads_and_rho();
 }
 
 void DeltaEvaluator::apply_move(std::size_t element, std::size_t site) {
   if (element >= n_ || site >= matrix_->size()) {
     throw std::out_of_range{"DeltaEvaluator::apply_move: element or site out of range"};
   }
-  placement_.site_of[element] = site;
-  rebuild();
+  const std::size_t old_site = placement_.site_of[element];
+  if (closest_) {
+    if (site != old_site) apply_move_closest(element, site);
+  } else if (site == old_site) {
+    // No-op move: nothing to repair.
+  } else if (load_aware_ &&
+             (hosted_count_[old_site] != 1 || hosted_count_[site] != 0)) {
+    // Colocating (or de-colocating) load-aware move: many coordinates shift,
+    // so rebuild from scratch. The one-to-one local search never takes this
+    // path; it exists for arbitrary apply_move callers.
+    placement_.site_of[element] = site;
+    rebuild();
+  } else {
+    const double old_add = load_aware_ ? site_term_[old_site] : 0.0;
+    const double new_add =
+        load_aware_ ? alpha_ * (site_load_[site] + lambda_[element]) : 0.0;
+    if (load_aware_) {
+      // old_site hosted exactly `element`, site hosted nothing: the exact
+      // post-move tables need no re-accumulation.
+      site_load_[old_site] = 0.0;
+      hosted_count_[old_site] = 0;
+      site_load_[site] = lambda_[element];
+      hosted_count_[site] = 1;
+      site_term_[old_site] = 0.0;
+      site_term_[site] = alpha_ * site_load_[site];
+    }
+    placement_.site_of[element] = site;
+    repair_single(element, site, old_site, old_add, new_add);
+  }
 #ifndef NDEBUG
-  // Parity against the naive objective: the rebuilt base must match a full
+  // Parity against the naive objective: the repaired base must match a full
   // re-evaluation (summation order differs, hence the tolerance).
   const double naive = objective_->evaluate(*matrix_, *system_, placement_);
   assert(std::abs(objective() - naive) <= 1e-9 * std::max(1.0, std::abs(naive)));

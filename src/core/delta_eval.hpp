@@ -1,17 +1,19 @@
 // Incremental ("delta") evaluation of a pluggable search objective
 //
-//   J(f) = avg_v E_uniform-Q [ max_{u in Q} x_f(v, u) ],
+//   J(f) = sum_v w_v R_f(v),
 //   x_f(v, u) = d(v, f(u)) + alpha * load_f(f(u))         (core::Objective)
 //
-// under single-element relocations f(u) <- w. For the network-delay
-// objective (alpha = 0) relocating one element changes exactly one
-// coordinate of every client's per-element value vector; the load-aware
-// objective (alpha > 0) preserves that property whenever the relocation
-// moves a solely-hosted element to an unused site (the invariant of the
-// one-to-one local search): load_f at the old site is exactly the element's
-// own lambda_u, which follows it to the new site, so only coordinate u
-// moves — by d(v,w) - d(v,a) plus the alpha-scaled load shift. The cached
-// per-client state then answers candidate moves without re-sorting:
+// under single-element relocations f(u) <- w, for both access strategies
+// (w_v are the objective's demand shares; empty = uniform 1/|V|, evaluated
+// by the historical unweighted arithmetic).
+//
+// Balanced strategy (R = E_uniform[max x]): relocating one element changes
+// exactly one coordinate of every client's per-element value vector when
+// alpha = 0, and also when an alpha > 0 move relocates a solely-hosted
+// element to an unused site (the invariant of the one-to-one local search):
+// load_f at the old site is exactly the element's own lambda_u, which
+// follows it to the new site. The cached per-client state then answers
+// candidate moves without re-sorting:
 //
 //   * SortedWeights (Majority, Singleton — any exchangeable system exposing
 //     QuorumSystem::order_stat_weights): per-client ASCENDING-sorted value
@@ -30,8 +32,32 @@
 // Moves that colocate elements (either endpoint hosts anything else) shift
 // load_f at both sites and hence every colocated element's value; those fall
 // back to a per-client patched re-evaluation against the maintained per-site
-// load tables (site_load_ / hosted_count_), which apply_move updates in O(1)
-// before refreshing the cached state.
+// load tables (site_load_ / hosted_count_).
+//
+// Closest strategy (§6, R = rho of the argmin-network-delay quorum): the
+// per-client cost couples globally through the load the quorum choices
+// induce, so the evaluator maintains an incremental quorum-choice structure:
+// the per-client chosen quorum (identity + its best network value m1, plus
+// the second-best value for Majority) with lazy repair on site moves. A
+// candidate move classifies every client in O(1):
+//   * u not in the chosen quorum and d(v, w) strictly above m1 — the choice
+//     provably cannot flip (any quorum containing u is now strictly worse
+//     than the unchanged best), regardless of tie-breaking;
+//   * Majority only: u chosen and d(v, w) strictly below the second-best
+//     value y[q] — u keeps its slot and the chosen set is unchanged;
+//   * otherwise the choice is recomputed exactly — replicating each
+//     system's best_quorum tie-breaking (Majority (value, index) selection,
+//     Grid flattened argmin) from the cached tables, or calling best_quorum
+//     itself for enumerated systems (Tree's DP tie-breaking is not scan
+//     order) — so colocated placements (which tie constantly) stay in exact
+//     parity with the naive closest evaluation.
+// The candidate load table is the maintained one patched by the (few)
+// flipped choices; the response pass then reprices every client's chosen
+// quorum in O(|Q|). apply_move repairs the distance rows (one coordinate
+// per client), the per-client sorted/maxima tables, and the quorum-choice
+// tables in place — no full rebuild — then reaccumulates loads and
+// responses from the repaired tables so floating-point drift cannot
+// compound across moves.
 //
 // All modes return values within ~1e-12 of Objective::evaluate (summation
 // order differs, so bit-identity is not guaranteed), and apply_move asserts
@@ -40,6 +66,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -54,7 +81,9 @@ class DeltaEvaluator {
  public:
   /// Caches per-client state for `placement` under `objective`. The matrix,
   /// system, and objective must outlive the evaluator; the placement is
-  /// copied. The two-argument form evaluates pure network delay.
+  /// copied. The two-argument form evaluates pure network delay. Throws
+  /// std::invalid_argument for a closest-strategy objective on a system
+  /// that is neither Grid, Majority, nor enumerable.
   DeltaEvaluator(const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
                  const Placement& placement, const Objective& objective);
   DeltaEvaluator(const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
@@ -71,22 +100,61 @@ class DeltaEvaluator {
   /// unchanged. Thread-safe.
   [[nodiscard]] double objective_if_moved(std::size_t element, std::size_t site) const;
 
-  /// Commits the relocation and refreshes the cached state (also bounding
-  /// floating-point drift: deltas are always taken against a fresh base).
+  /// Commits the relocation with per-move incremental repair of the cached
+  /// distance/load/quorum-choice tables (per-client sums are reaccumulated
+  /// from the repaired tables, so drift cannot compound); colocating moves
+  /// under a load-aware balanced objective fall back to a full rebuild.
   void apply_move(std::size_t element, std::size_t site);
 
  private:
-  enum class Mode { SortedWeights, Grid, Enumerated, Recompute };
+  enum class Mode {
+    SortedWeights,
+    Grid,
+    Enumerated,
+    Recompute,
+    ClosestGrid,
+    ClosestMajority,
+    ClosestEnumerated,
+  };
 
   void rebuild();
+  /// Per-client sorted-row prefix sums + expectation from sorted_ (see
+  /// rebuild); shared by rebuild and the single-coordinate repair.
+  void rebuild_sorted_client(std::size_t v);
+  /// Per-client Grid quorum-sum tables from row/col maxima; shared likewise.
+  void rebuild_grid_client_sums(std::size_t v);
+  /// Repairs client v's Grid row/col maxima and exclusion tables after the
+  /// single cell (r0, c0) of values_ changed — shared by the balanced
+  /// single-coordinate repair and the closest-mode apply path.
+  void repair_grid_client_tables(std::size_t v, std::size_t r0, std::size_t c0);
   /// x_f(v, u) for every element into `out` (size n_).
   void gather_values(std::size_t v, double* out) const;
+  /// Single-coordinate repair of the balanced-mode tables after
+  /// placement_.site_of[element] changed old_site -> site. old_add/new_add
+  /// are the alpha-scaled load terms of the old and new coordinate value.
+  void repair_single(std::size_t element, std::size_t site, std::size_t old_site,
+                     double old_add, double new_add);
   /// Fallback for load-shifting (colocated) moves: per-client patched
   /// re-evaluation against the post-move load tables.
   [[nodiscard]] double objective_if_moved_general(std::size_t element,
                                                   std::size_t site) const;
   [[nodiscard]] double client_delta_sorted(std::size_t client, double old_value,
                                            double new_value) const;
+
+  // ---- Closest-strategy machinery (see file comment). ----
+  void rebuild_closest();
+  /// Reaccumulates closest_load_ (weighted charges of every chosen quorum)
+  /// and the per-client responses from the current choice tables.
+  void rebuild_closest_loads_and_rho();
+  /// Exact chosen set of client v for patched distances (element -> value
+  /// `patched`), replicating MajorityQuorum::best_quorum's (value, index)
+  /// selection; appends the q chosen ids (ascending) to `out`.
+  void majority_chosen_patched(std::size_t v, std::size_t element, double patched,
+                               std::vector<std::size_t>& out) const;
+  [[nodiscard]] double closest_if_moved(std::size_t element, std::size_t site) const;
+  void apply_move_closest(std::size_t element, std::size_t site);
+  /// Per-client weight: demand share, or 1/|V| for the uniform objective.
+  [[nodiscard]] double charge_weight(std::size_t v) const noexcept;
 
   const net::LatencyMatrix* matrix_;
   const quorum::QuorumSystem* system_;
@@ -96,29 +164,35 @@ class DeltaEvaluator {
   std::size_t clients_ = 0;
   std::size_t n_ = 0;
 
+  /// Demand shares from the objective (empty = uniform). Uniform keeps the
+  /// historical accumulate-then-divide arithmetic bitwise.
+  std::span<const double> client_weight_;
+
   /// Load model state: alpha, per-element lambda_u, and the per-site tables
   /// maintained across moves. load_aware_ is false when alpha == 0 (or the
   /// objective has no load contributions), in which case the tables stay
   /// empty and every code path matches the historical network-delay engine.
   double alpha_ = 0.0;
   bool load_aware_ = false;
+  bool closest_ = false;
   std::span<const double> lambda_;
   std::vector<double> site_load_;          // sites: sum of hosted lambda_u.
   std::vector<double> site_term_;          // sites: alpha * site_load_.
   std::vector<std::size_t> hosted_count_;  // sites: # hosted elements.
 
-  /// Sum over clients of E_v, and E_v itself (or the per-client quorum-sum
-  /// S_v for the Grid/Enumerated modes, see .cpp).
+  /// Weighted sum over clients of R_v, and R_v itself (or the per-client
+  /// quorum-sum S_v for the Grid/Enumerated balanced modes, see .cpp).
   double base_total_ = 0.0;
   std::vector<double> client_sum_;
 
-  // SortedWeights mode.
+  // SortedWeights mode (sorted_ also backs the ClosestMajority tables).
   std::span<const double> weights_;
   std::vector<double> sorted_;      // clients x n, each row ascending.
   std::vector<double> shift_up_;    // clients x n prefix sums (see .cpp).
   std::vector<double> shift_down_;  // clients x (n+1) prefix sums.
 
-  // Grid / Enumerated / Recompute modes.
+  // Grid / Enumerated / Recompute modes; values_ holds x_f rows (balanced)
+  // or pure distance rows (closest).
   std::vector<double> values_;   // clients x n raw per-element values.
   std::size_t side_ = 0;         // Grid: k.
   std::vector<double> row_max_;  // Grid: clients x k.
@@ -134,6 +208,16 @@ class DeltaEvaluator {
   std::vector<quorum::Quorum> quorums_;             // Enumerated.
   std::vector<std::vector<std::size_t>> incident_;  // Enumerated: element -> quorum ids.
   std::vector<double> quorum_max_;                  // Enumerated: clients x |quorums|.
+
+  // Closest-strategy quorum-choice tables.
+  std::size_t majority_q_ = 0;                  // ClosestMajority: quorum size q.
+  std::vector<quorum::Quorum> chosen_quorum_;   // Per-client chosen identity.
+  std::vector<std::uint8_t> in_best_;           // Majority/Enumerated: clients x n.
+  std::vector<std::size_t> chosen_row_;         // ClosestGrid: chosen r*.
+  std::vector<std::size_t> chosen_col_;         // ClosestGrid: chosen c*.
+  std::vector<double> best_value_;              // m1: chosen quorum's network max.
+  std::vector<double> second_value_;            // Majority: y[q] (+inf if q == n).
+  std::vector<double> closest_load_;            // Weighted load_f per site.
 };
 
 }  // namespace qp::core

@@ -1,22 +1,24 @@
 #include "core/eval_workspace.hpp"
 
+#include "common/simd_kernels.hpp"
+
 namespace qp::core {
 
-// The fill kernels below are gathers (indexed by site_of), which baseline
-// x86-64 cannot vectorize; they are written pointer-flat so nothing else
-// blocks the optimizer. The reductions those values feed — the Majority
-// order-stat dot, the Grid row/column maxima and quorum-maxima sums — run
-// through the vectorized common/simd_kernels.hpp kernels inside each
-// QuorumSystem's expected_max_uniform_scratch.
+// The fill kernels below are gathers (indexed by site_of): baseline x86-64
+// has no gather instruction, so common::gather_indexed runs its scalar
+// loop there and the AVX2 vpgatherqpd form under ENABLE_AVX2 (identical
+// doubles either way; bench_eval_kernels records both variants). The
+// reductions those values feed — the Majority order-stat dot, the Grid
+// row/column maxima and quorum-maxima sums — run through the vectorized
+// common/simd_kernels.hpp kernels inside each QuorumSystem's
+// expected_max_uniform_scratch.
 
 void fill_element_distances(const net::LatencyMatrix& matrix, const Placement& placement,
                             std::size_t client, std::vector<double>& out) {
   const double* row = matrix.row(client).data();
   const std::size_t n = placement.universe_size();
   out.resize(n);
-  const std::size_t* site = placement.site_of.data();
-  double* y = out.data();
-  for (std::size_t u = 0; u < n; ++u) y[u] = row[site[u]];
+  common::gather_indexed(row, placement.site_of.data(), n, out.data());
 }
 
 void fill_element_values(const net::LatencyMatrix& matrix, const Placement& placement,

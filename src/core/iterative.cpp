@@ -26,6 +26,9 @@ IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
                                     const Objective& objective,
                                     const IterativeOptions& options) {
   const double alpha = objective.alpha();
+  // Demand shares weight every evaluation (and its load attribution); the
+  // LP itself still optimizes the unweighted delay objective of (4.3).
+  const std::span<const double> demand = objective.client_weights();
   const std::vector<quorum::Quorum> quorums =
       system.enumerate_quorums(options.strategy.quorum_limit);
   const std::size_t m = quorums.size();
@@ -59,7 +62,8 @@ IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
 
     const ExplicitStrategy carried =
         common_strategy(quorums, average_distribution, clients);
-    const Evaluation phase1 = evaluate_explicit(matrix, system, placement, alpha, carried);
+    const Evaluation phase1 =
+        evaluate_explicit(matrix, system, placement, alpha, carried, demand);
     record.response_after_placement = phase1.avg_response_ms;
     record.network_after_placement = phase1.avg_network_delay_ms;
 
@@ -76,7 +80,7 @@ IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
       break;
     }
     const Evaluation phase2 =
-        evaluate_explicit(matrix, system, placement, alpha, lp_result.strategy);
+        evaluate_explicit(matrix, system, placement, alpha, lp_result.strategy, demand);
     record.response_after_strategy = phase2.avg_response_ms;
     record.network_after_strategy = phase2.avg_network_delay_ms;
 

@@ -3,7 +3,8 @@
 // placements of §4.1.1 to a local optimum of the search objective? The
 // search relocates one universe element at a time to an unused site until a
 // local optimum, under any core::Objective (pure network delay by default,
-// the load-aware §7 response time via LoadAwareObjective).
+// the load-aware §7 response time via LoadAwareObjective, the §6 closest
+// strategy via ClosestStrategyObjective — each optionally demand-weighted).
 //
 // Two evaluation engines share the same semantics and tie-breaking:
 //   * Delta — incremental evaluation via core::DeltaEvaluator: O(log n) per

@@ -1,20 +1,34 @@
-// Pluggable placement-search objectives.
+// Pluggable, demand-aware placement-search objectives.
 //
 // Every search layer (DeltaEvaluator, local_search, best_placement, the
-// iterative alternation) optimizes an average over clients of the expected
-// maximum of per-element values
+// iterative alternation) minimizes a demand-weighted average over clients of
+// the response time of the client's quorum access
 //
-//   J(f) = avg_v E_uniform-Q [ max_{u in Q} x_f(v, u) ],
+//   J(f) = sum_v w_v * R_f(v),          w_v = demand_v / sum demand
 //   x_f(v, u) = d(v, f(u)) + alpha * load_f(f(u))            (§4, eq. 4.1)
 //
-// under the balanced (uniform) access strategy with per-element execution
-// (§8). The Objective interface captures the two axes a concrete objective
-// chooses: the alpha coefficient and the load model (lambda_u per element,
-// accumulated onto hosting sites). Two implementations cover the paper:
-//   * NetworkDelayObjective — alpha = 0, the §6 pure-network-delay measure;
-//   * LoadAwareObjective    — alpha = op_srv_time * demand > 0, the §7
-//                             load-aware response time.
-// Search code takes a `const Objective&` and never special-cases alpha.
+// where the access strategy decides both R_f(v) and the load model:
+//   * Balanced (§7/§8): R_f(v) = E_uniform-Q [ max_{u in Q} x_f(v, u) ] and
+//     load_f comes from the uniform per-element loads (demand-independent:
+//     every client draws the same quorum distribution, so the weighted
+//     average of identical per-client loads is the unweighted one);
+//   * Closest (§6): R_f(v) = rho_f(v, Q_v*) for the argmin-network-delay
+//     quorum Q_v* of client v, and load_f(w) = sum_v w_v |{u in Q_v* :
+//     f(u) = w}| depends on the placement through every client's choice.
+// An empty weight vector means uniform clients (w_v = 1/|V|), evaluated by
+// the exact historical arithmetic so pre-demand results reproduce bitwise.
+//
+// The Objective interface captures the three axes a concrete objective
+// chooses: the alpha coefficient, the per-client demand weights, and the
+// access strategy (which implies the per-site load attribution). Three
+// implementations cover the paper:
+//   * NetworkDelayObjective    — alpha = 0, the §6 pure-network-delay
+//                                measure (balanced strategy);
+//   * LoadAwareObjective       — alpha = op_srv_time * demand > 0, the §7
+//                                balanced-strategy response time;
+//   * ClosestStrategyObjective — the §6 closest strategy: per-client argmin
+//                                quorums plus the load they induce.
+// Search code takes a `const Objective&` and never special-cases any axis.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +43,11 @@
 
 namespace qp::core {
 
+/// How an objective's clients pick quorums (and hence how load attaches to
+/// sites): Balanced = uniform over all quorums (§7), Closest = each client's
+/// argmin-network-delay quorum (§6).
+enum class AccessStrategy { Balanced, Closest };
+
 class Objective {
  public:
   virtual ~Objective() = default;
@@ -38,21 +57,34 @@ class Objective {
   /// Coefficient on the load term of (4.1); 0 means pure network delay.
   [[nodiscard]] virtual double alpha() const noexcept = 0;
 
-  /// Per-element load contributions lambda_u: the load element u drags to
-  /// whichever site hosts it, so load_f(w) = sum_{f(u)=w} lambda_u. An empty
-  /// span means all-zero (the network-delay case). Spans must stay valid for
-  /// the lifetime of the program (concrete objectives return memoized
+  /// Strategy governing the per-client response and the load attribution.
+  [[nodiscard]] virtual AccessStrategy access_strategy() const noexcept {
+    return AccessStrategy::Balanced;
+  }
+
+  /// Per-client demand shares w_v (normalized to sum 1); empty = uniform
+  /// clients. A constant demand vector is collapsed to empty at
+  /// construction, so uniform-demand evaluations reproduce the historical
+  /// unweighted arithmetic exactly.
+  [[nodiscard]] std::span<const double> client_weights() const noexcept { return weights_; }
+
+  /// Per-element load contributions lambda_u under the balanced strategy:
+  /// the load element u drags to whichever site hosts it, so
+  /// load_f(w) = sum_{f(u)=w} lambda_u. An empty span means all-zero (the
+  /// network-delay case, and the closest strategy, whose load is placement-
+  /// dependent and computed by site_loads instead). Spans must stay valid
+  /// for the lifetime of the program (concrete objectives return memoized
   /// per-system tables, see QuorumSystem::uniform_load_cached).
   [[nodiscard]] virtual std::span<const double> element_loads(
       const quorum::QuorumSystem& system) const = 0;
 
-  // ---- Shared machinery (identical for every objective). ----
-
-  /// load_f(w) per site under this objective's load model; all zeros when
-  /// alpha() == 0 or element_loads is empty.
-  [[nodiscard]] std::vector<double> site_loads(const quorum::QuorumSystem& system,
-                                               const Placement& placement,
-                                               std::size_t site_count) const;
+  /// load_f(w) per site under this objective's load model. The balanced
+  /// default accumulates element_loads onto hosting sites (all zeros when
+  /// alpha() == 0 or element_loads is empty); the closest strategy overrides
+  /// with the demand-weighted loads its per-client quorum choices induce.
+  [[nodiscard]] virtual std::vector<double> site_loads(
+      const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+      const Placement& placement) const;
 
   /// x_f(client, u) into `out` for precomputed site loads.
   void fill_values(const net::LatencyMatrix& matrix, const Placement& placement,
@@ -60,23 +92,39 @@ class Objective {
                    std::vector<double>& out) const;
 
   /// Naive full evaluation of J(f): the reference the incremental engine is
-  /// checked against. Allocation-free in steady state via `workspace`.
-  [[nodiscard]] double evaluate_ws(const net::LatencyMatrix& matrix,
-                                   const quorum::QuorumSystem& system,
-                                   const Placement& placement,
-                                   EvalWorkspace& workspace) const;
+  /// checked against. Allocation-free in steady state via `workspace`. The
+  /// balanced default covers NetworkDelay/LoadAware; the closest strategy
+  /// overrides (it must match evaluate_closest, not evaluate_balanced).
+  [[nodiscard]] virtual double evaluate_ws(const net::LatencyMatrix& matrix,
+                                           const quorum::QuorumSystem& system,
+                                           const Placement& placement,
+                                           EvalWorkspace& workspace) const;
 
   /// Convenience overload with a local workspace.
   [[nodiscard]] double evaluate(const net::LatencyMatrix& matrix,
                                 const quorum::QuorumSystem& system,
                                 const Placement& placement) const;
+
+ protected:
+  Objective() = default;
+  /// Normalizes `client_demand` to shares; empty or constant demand (and a
+  /// zero-sum vector) collapses to the uniform (empty) representation.
+  /// Throws on negative or non-finite entries.
+  explicit Objective(std::span<const double> client_demand);
+
+ private:
+  std::vector<double> weights_;  // Demand shares; empty = uniform clients.
 };
 
-/// alpha = 0: J(f) = avg_v E_uniform[max d(v, f(u))] — identical to
-/// average_uniform_network_delay.
+/// alpha = 0: J(f) = weighted avg_v E_uniform[max d(v, f(u))] — identical to
+/// average_uniform_network_delay for uniform demand.
 class NetworkDelayObjective final : public Objective {
  public:
-  [[nodiscard]] std::string name() const override { return "network-delay"; }
+  NetworkDelayObjective() = default;
+  explicit NetworkDelayObjective(std::span<const double> client_demand)
+      : Objective(client_demand) {}
+
+  [[nodiscard]] std::string name() const override;
   [[nodiscard]] double alpha() const noexcept override { return 0.0; }
   [[nodiscard]] std::span<const double> element_loads(
       const quorum::QuorumSystem&) const override {
@@ -85,19 +133,59 @@ class NetworkDelayObjective final : public Objective {
 };
 
 /// alpha > 0: the §7 response-time objective under the balanced strategy;
-/// matches evaluate_balanced(...).avg_response_ms for per-element execution.
+/// matches evaluate_balanced(...).avg_response_ms for per-element execution
+/// (demand-weighted when constructed from a demand vector).
 class LoadAwareObjective final : public Objective {
  public:
   /// Requires alpha >= 0 and finite.
   explicit LoadAwareObjective(double alpha);
+  LoadAwareObjective(double alpha, std::span<const double> client_demand);
 
   /// alpha = kQuWriteServiceMs * client_demand (§7's parameterization).
   [[nodiscard]] static LoadAwareObjective for_demand(double client_demand);
+  /// Demand-weighted: alpha from the mean demand, weights from the vector.
+  [[nodiscard]] static LoadAwareObjective for_demand(std::span<const double> client_demand);
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double alpha() const noexcept override { return alpha_; }
   [[nodiscard]] std::span<const double> element_loads(
       const quorum::QuorumSystem& system) const override;
+
+ private:
+  double alpha_;
+};
+
+/// The §6 closest strategy: each client deterministically reads from its
+/// minimum-network-delay quorum (QuorumSystem::best_quorum ties included),
+/// the quorum choices induce the per-site loads, and the response is
+/// rho_f(v, Q_v*) of (4.1). Matches evaluate_closest(...).avg_response_ms
+/// (per-element execution), demand-weighted when built from a demand vector.
+class ClosestStrategyObjective final : public Objective {
+ public:
+  /// Requires alpha >= 0 and finite.
+  explicit ClosestStrategyObjective(double alpha);
+  ClosestStrategyObjective(double alpha, std::span<const double> client_demand);
+
+  [[nodiscard]] static ClosestStrategyObjective for_demand(double client_demand);
+  [[nodiscard]] static ClosestStrategyObjective for_demand(
+      std::span<const double> client_demand);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double alpha() const noexcept override { return alpha_; }
+  [[nodiscard]] AccessStrategy access_strategy() const noexcept override {
+    return AccessStrategy::Closest;
+  }
+  [[nodiscard]] std::span<const double> element_loads(
+      const quorum::QuorumSystem&) const override {
+    return {};  // Placement-dependent; see site_loads.
+  }
+  [[nodiscard]] std::vector<double> site_loads(const net::LatencyMatrix& matrix,
+                                               const quorum::QuorumSystem& system,
+                                               const Placement& placement) const override;
+  [[nodiscard]] double evaluate_ws(const net::LatencyMatrix& matrix,
+                                   const quorum::QuorumSystem& system,
+                                   const Placement& placement,
+                                   EvalWorkspace& workspace) const override;
 
  private:
   double alpha_;

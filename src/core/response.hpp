@@ -34,6 +34,15 @@ struct Evaluation {
   std::vector<double> per_client_response;
 };
 
+/// Normalizes a per-client demand vector to shares summing to 1 — the
+/// weight vector every demand-aware evaluation consumes. Empty or constant
+/// demand (uniform clients) returns an empty vector, which selects the
+/// historical unweighted arithmetic, so uniform-demand results reproduce
+/// pre-demand outputs bitwise. Throws on a size mismatch with
+/// `client_count` or on negative/non-finite entries.
+[[nodiscard]] std::vector<double> demand_shares(std::span<const double> client_demand,
+                                                std::size_t client_count);
+
 /// Closest access strategy (§6): each client deterministically uses its
 /// minimum-network-delay quorum; the load those choices induce still enters
 /// the response time through alpha. `model` selects the §8 execution model
@@ -54,6 +63,26 @@ struct Evaluation {
 [[nodiscard]] Evaluation evaluate_explicit(
     const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
     const Placement& placement, double alpha, const ExplicitStrategy& strategy,
+    ExecutionModel model = ExecutionModel::PerElement);
+
+/// Demand-weighted variants: `client_demand` is the raw per-client demand
+/// vector (any positive scaling; normalized internally via demand_shares).
+/// Both the response averages and the load attribution weight client v by
+/// its demand share instead of 1/|V| — except the balanced load model,
+/// which is demand-invariant (identical per-client quorum distributions).
+/// Empty/constant demand reduces exactly to the uniform overloads above.
+[[nodiscard]] Evaluation evaluate_closest(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, double alpha, std::span<const double> client_demand,
+    ExecutionModel model = ExecutionModel::PerElement);
+[[nodiscard]] Evaluation evaluate_balanced(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, double alpha, std::span<const double> client_demand,
+    ExecutionModel model = ExecutionModel::PerElement);
+[[nodiscard]] Evaluation evaluate_explicit(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, double alpha, const ExplicitStrategy& strategy,
+    std::span<const double> client_demand,
     ExecutionModel model = ExecutionModel::PerElement);
 
 /// rho_f(v, Q) per (4.1) for one concrete quorum — shared helper.

@@ -120,6 +120,26 @@ std::vector<double> site_loads_closest(const net::LatencyMatrix& matrix,
   return site_loads;
 }
 
+std::vector<double> site_loads_closest(const net::LatencyMatrix& matrix,
+                                       const quorum::QuorumSystem& system,
+                                       const Placement& placement,
+                                       std::span<const double> client_weights,
+                                       ExecutionModel model) {
+  if (client_weights.empty()) {
+    return site_loads_closest(matrix, system, placement, model);
+  }
+  if (client_weights.size() != matrix.size()) {
+    throw std::invalid_argument{"site_loads_closest: client weight count != clients"};
+  }
+  const std::vector<quorum::Quorum> chosen = closest_quorums(matrix, system, placement);
+  std::vector<double> site_loads(matrix.size(), 0.0);
+  std::vector<std::size_t> scratch;
+  for (std::size_t v = 0; v < chosen.size(); ++v) {
+    charge_quorum(chosen[v], placement, client_weights[v], model, site_loads, scratch);
+  }
+  return site_loads;
+}
+
 std::vector<double> site_loads_balanced(const quorum::QuorumSystem& system,
                                         const Placement& placement, std::size_t site_count,
                                         ExecutionModel model) {
@@ -159,6 +179,33 @@ std::vector<double> site_loads_explicit(const ExplicitStrategy& strategy,
   if (!strategy.probability.empty()) {
     for (double& load : site_loads) {
       load /= static_cast<double>(strategy.probability.size());
+    }
+  }
+  return site_loads;
+}
+
+std::vector<double> site_loads_explicit(const ExplicitStrategy& strategy,
+                                        const Placement& placement, std::size_t site_count,
+                                        std::span<const double> client_weights,
+                                        ExecutionModel model) {
+  if (client_weights.empty()) {
+    return site_loads_explicit(strategy, placement, site_count, model);
+  }
+  if (client_weights.size() != strategy.probability.size()) {
+    throw std::invalid_argument{"site_loads_explicit: client weight count != clients"};
+  }
+  placement.validate(site_count);
+  std::vector<double> site_loads(site_count, 0.0);
+  std::vector<std::size_t> scratch;
+  for (std::size_t v = 0; v < strategy.probability.size(); ++v) {
+    const std::vector<double>& row = strategy.probability[v];
+    if (row.size() != strategy.quorums.size()) {
+      throw std::invalid_argument{"site_loads_explicit: row size mismatch"};
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] == 0.0) continue;
+      charge_quorum(strategy.quorums[i], placement, client_weights[v] * row[i], model,
+                    site_loads, scratch);
     }
   }
   return site_loads;

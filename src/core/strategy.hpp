@@ -67,6 +67,21 @@ enum class ExecutionModel { PerElement, Collapsed };
     const ExplicitStrategy& strategy, const Placement& placement, std::size_t site_count,
     ExecutionModel model = ExecutionModel::PerElement);
 
+/// Demand-weighted load attribution: client v's quorum access is charged
+/// with weight client_weights[v] instead of 1/|V|. Callers pass normalized
+/// demand shares (see core::demand_shares in response.hpp); an empty span
+/// falls back to the uniform overloads above. There is no weighted balanced
+/// overload: under the balanced strategy every client induces the identical
+/// per-element load, so any convex demand weighting leaves it unchanged.
+[[nodiscard]] std::vector<double> site_loads_closest(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, std::span<const double> client_weights,
+    ExecutionModel model = ExecutionModel::PerElement);
+[[nodiscard]] std::vector<double> site_loads_explicit(
+    const ExplicitStrategy& strategy, const Placement& placement, std::size_t site_count,
+    std::span<const double> client_weights,
+    ExecutionModel model = ExecutionModel::PerElement);
+
 struct StrategyLpResult {
   lp::SolveStatus status = lp::SolveStatus::Infeasible;
   ExplicitStrategy strategy;          // Populated when status == Optimal.

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "core/capacity.hpp"
@@ -22,6 +25,41 @@
 #include "sim/protocol_sim.hpp"
 
 namespace qp::eval {
+
+PointShard parse_point_shard(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return {};
+  const std::string text{spec};
+  const std::size_t slash = text.find('/');
+  std::size_t k = 0;
+  std::size_t n = 0;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument{"no slash"};
+    const std::string k_text = text.substr(0, slash);
+    const std::string n_text = text.substr(slash + 1);
+    // Digits only: std::stoul alone would wrap "-1" to 2^64-1 and accept
+    // signs/whitespace, silently selecting an almost-empty shard.
+    const auto all_digits = [](const std::string& s) {
+      return !s.empty() && std::all_of(s.begin(), s.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      });
+    };
+    if (!all_digits(k_text) || !all_digits(n_text)) {
+      throw std::invalid_argument{"non-digit characters"};
+    }
+    k = std::stoul(k_text);
+    n = std::stoul(n_text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"parse_point_shard: expected K/N (1-based), got '" +
+                                text + "'"};
+  }
+  if (n < 1 || k < 1 || k > n) {
+    throw std::invalid_argument{"parse_point_shard: K/N requires 1 <= K <= N, got '" +
+                                text + "'"};
+  }
+  return PointShard{k - 1, n};
+}
+
+PointShard point_shard_from_env() { return parse_point_shard(std::getenv("QP_POINT_SHARD")); }
 
 std::vector<QuPoint> qu_response_surface(const net::LatencyMatrix& matrix,
                                          const QuSweepConfig& config) {
@@ -104,27 +142,38 @@ std::vector<LowDemandPoint> low_demand_sweep(const net::LatencyMatrix& matrix) {
 
 std::vector<GridDemandPoint> grid_demand_sweep(const net::LatencyMatrix& matrix,
                                                std::span<const double> demands,
-                                               std::size_t max_side) {
+                                               std::size_t max_side,
+                                               std::span<const double> demand_profile,
+                                               PointShard shard) {
   if (max_side == 0) {
     max_side = static_cast<std::size_t>(std::sqrt(static_cast<double>(matrix.size())));
   }
   std::vector<GridDemandPoint> points;
+  std::size_t point_index = 0;  // Deterministic (side, demand) enumeration.
   for (std::size_t k = 2; k <= max_side && k * k <= matrix.size(); ++k) {
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (shard.contains(point_index++)) selected.push_back(i);
+    }
+    if (selected.empty()) continue;  // Skip the placement search entirely.
     const quorum::GridQuorum system{k};
     const core::PlacementSearchResult search = core::best_grid_placement(matrix, k);
     // Each demand level is an independent evaluation of the same placement;
     // fan out on the pool, collect into per-demand slots, append in order.
-    std::vector<std::array<GridDemandPoint, 2>> per_demand(demands.size());
-    common::global_thread_pool().parallel_for(0, demands.size(), [&](std::size_t i) {
-      const double demand = demands[i];
+    std::vector<std::array<GridDemandPoint, 2>> per_demand(selected.size());
+    common::global_thread_pool().parallel_for(0, selected.size(), [&](std::size_t s) {
+      const double demand = demands[selected[s]];
       const double alpha = core::kQuWriteServiceMs * demand;
+      // demand_profile weights clients by demand share (empty or constant =
+      // the exact uniform evaluation); alpha stays the mean-demand §7
+      // coefficient per level.
       const core::Evaluation closest =
-          core::evaluate_closest(matrix, system, search.placement, alpha);
+          core::evaluate_closest(matrix, system, search.placement, alpha, demand_profile);
       const core::Evaluation balanced =
-          core::evaluate_balanced(matrix, system, search.placement, alpha);
-      per_demand[i][0] = GridDemandPoint{k * k, demand, "closest", closest.avg_response_ms,
+          core::evaluate_balanced(matrix, system, search.placement, alpha, demand_profile);
+      per_demand[s][0] = GridDemandPoint{k * k, demand, "closest", closest.avg_response_ms,
                                          closest.avg_network_delay_ms};
-      per_demand[i][1] = GridDemandPoint{k * k, demand, "balanced",
+      per_demand[s][1] = GridDemandPoint{k * k, demand, "balanced",
                                          balanced.avg_response_ms,
                                          balanced.avg_network_delay_ms};
     });
@@ -140,14 +189,20 @@ std::vector<CapacityPoint> capacity_sweep(const net::LatencyMatrix& matrix,
                                           const CapacitySweepConfig& config) {
   std::vector<CapacityPoint> points;
   const double alpha = core::kQuWriteServiceMs * config.client_demand;
+  std::size_t point_index = 0;  // Deterministic (side, level) enumeration.
   for (std::size_t k = config.min_side; k <= config.max_side && k * k <= matrix.size();
        ++k) {
+    const std::vector<double> all_levels =
+        core::uniform_capacity_levels(quorum::GridQuorum{k}.optimal_load(), config.levels);
+    std::vector<double> levels;
+    for (double level : all_levels) {
+      if (config.shard.contains(point_index++)) levels.push_back(level);
+    }
+    if (levels.empty()) continue;  // Skip the placement search entirely.
     const quorum::GridQuorum system{k};
     const core::PlacementSearchResult search = core::best_grid_placement(matrix, k);
     const std::vector<std::size_t> support = search.placement.support_set();
     const double l_opt = system.optimal_load();
-    const std::vector<double> levels =
-        core::uniform_capacity_levels(l_opt, config.levels);
 
     // Each capacity level solves its own LP(s) against shared read-only
     // state; fan the levels out on the pool and append results in order.
@@ -219,6 +274,14 @@ std::vector<IterativePoint> iterative_sweep(const net::LatencyMatrix& matrix,
   }
   std::vector<IterativePoint> points;
 
+  const std::vector<double> all_levels =
+      core::uniform_capacity_levels(system.optimal_load(), config.levels);
+  std::vector<double> levels;
+  for (std::size_t i = 0; i < all_levels.size(); ++i) {
+    if (config.shard.contains(i)) levels.push_back(all_levels[i]);
+  }
+  if (levels.empty()) return points;  // Skip the placement search entirely.
+
   // One-to-one baseline (balanced strategy, matching the uniform access the
   // iterative algorithm starts from).
   const core::PlacementSearchResult one_to_one =
@@ -226,8 +289,6 @@ std::vector<IterativePoint> iterative_sweep(const net::LatencyMatrix& matrix,
   const core::Evaluation baseline =
       core::evaluate_balanced(matrix, system, one_to_one.placement, config.alpha);
 
-  const std::vector<double> levels =
-      core::uniform_capacity_levels(system.optimal_load(), config.levels);
   const std::vector<std::size_t> anchors =
       config.anchor_count == 0 ? std::vector<std::size_t>{}
                                : central_sites(matrix, config.anchor_count);
@@ -269,11 +330,12 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
-/// Two rows (constructive, local-opt) for one system on one scenario.
+/// Two rows (constructive, local-opt) for one (system, objective) pair on
+/// one scenario.
 void large_topology_rows(const sim::Scenario& scenario,
                          const quorum::QuorumSystem& system,
                          const std::function<core::Placement(std::size_t)>& builder,
-                         const core::Objective& objective,
+                         const core::Objective& objective, const std::string& label,
                          const LargeTopologyConfig& config,
                          std::vector<LargeTopologyPoint>& points) {
   const net::LatencyMatrix& matrix = scenario.matrix;
@@ -284,6 +346,7 @@ void large_topology_rows(const sim::Scenario& scenario,
   LargeTopologyPoint constructive;
   constructive.scenario = scenario.name;
   constructive.system = system.name();
+  constructive.objective = label;
   constructive.stage = "constructive";
   constructive.alpha = objective.alpha();
   auto start = std::chrono::steady_clock::now();
@@ -321,25 +384,33 @@ std::vector<LargeTopologyPoint> large_topology_sweep(const sim::Scenario& scenar
   if (grid_universe > matrix.size() || config.majority_universe > matrix.size()) {
     throw std::invalid_argument{"large_topology_sweep: topology smaller than universe"};
   }
-  const core::LoadAwareObjective objective =
-      core::LoadAwareObjective::for_demand(scenario.mean_demand());
+  // Demand-weighted objectives: the scenario's Pareto demand vector weights
+  // the per-client terms (and the closest-strategy load attribution) instead
+  // of being condensed into one alpha.
+  const core::LoadAwareObjective load_aware = scenario.load_objective();
+  const core::ClosestStrategyObjective closest = scenario.closest_objective();
 
   std::vector<LargeTopologyPoint> points;
   const quorum::GridQuorum grid{config.grid_side};
-  large_topology_rows(
-      scenario, grid,
-      [&](std::size_t v0) {
-        return core::grid_placement_for_client(matrix, config.grid_side, v0);
-      },
-      objective, config, points);
-
+  const auto grid_builder = [&](std::size_t v0) {
+    return core::grid_placement_for_client(matrix, config.grid_side, v0);
+  };
   const quorum::MajorityQuorum majority{config.majority_universe, config.majority_quorum};
-  large_topology_rows(
-      scenario, majority,
-      [&](std::size_t v0) {
-        return core::majority_ball_placement(matrix, config.majority_universe, v0);
-      },
-      objective, config, points);
+  const auto majority_builder = [&](std::size_t v0) {
+    return core::majority_ball_placement(matrix, config.majority_universe, v0);
+  };
+
+  large_topology_rows(scenario, grid, grid_builder, load_aware, "load-aware", config,
+                      points);
+  if (config.include_closest) {
+    large_topology_rows(scenario, grid, grid_builder, closest, "closest", config, points);
+  }
+  large_topology_rows(scenario, majority, majority_builder, load_aware, "load-aware",
+                      config, points);
+  if (config.include_closest) {
+    large_topology_rows(scenario, majority, majority_builder, closest, "closest", config,
+                        points);
+  }
   return points;
 }
 

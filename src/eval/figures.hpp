@@ -15,6 +15,32 @@
 
 namespace qp::eval {
 
+// ------------------------------------------------- per-point sharding
+
+/// Interleaved point-range selection *below* figure granularity: a sweep
+/// evaluates only the points whose (deterministic) enumeration index i has
+/// i % count == index. The default {0, 1} selects everything, producing
+/// byte-identical output to an unsharded run; disjoint shards of one figure
+/// recombine with bench/merge_shards.py (JSON benchmark arrays + CSV rows).
+struct PointShard {
+  std::size_t index = 0;  // 0-based shard id, < count.
+  std::size_t count = 1;
+
+  [[nodiscard]] bool contains(std::size_t point) const noexcept {
+    return count <= 1 || point % count == index;
+  }
+};
+
+/// Parses "K/N" (1-based K, as run_all.sh --points passes it); nullptr or
+/// empty means the full range. Throws std::invalid_argument on malformed
+/// specs or K outside [1, N].
+[[nodiscard]] PointShard parse_point_shard(const char* spec);
+
+/// parse_point_shard over the QP_POINT_SHARD environment variable — the
+/// hook every figure binary calls so one expensive figure can fan out
+/// across hosts.
+[[nodiscard]] PointShard point_shard_from_env();
+
 // ---------------------------------------------------------------- §3 (Q/U)
 
 struct QuPoint {
@@ -67,9 +93,16 @@ struct GridDemandPoint {
 
 /// Figures 6.4 / 6.5: Grid response time & network delay under the closest
 /// and balanced strategies for each demand level (alpha = 0.007 * demand).
+/// `demand_profile` is an optional per-client relative demand shape: each
+/// level's per-client demand is the profile scaled to mean `demand`, so the
+/// evaluations weight clients (and the closest-strategy load) by demand
+/// share. An empty or constant profile reproduces the uniform sweep
+/// exactly. `shard` selects an interleaved subset of the (side, demand)
+/// points (see PointShard).
 [[nodiscard]] std::vector<GridDemandPoint> grid_demand_sweep(
     const net::LatencyMatrix& matrix, std::span<const double> demands,
-    std::size_t max_side = 0 /* 0 = largest grid that fits */);
+    std::size_t max_side = 0 /* 0 = largest grid that fits */,
+    std::span<const double> demand_profile = {}, PointShard shard = {});
 
 // -------------------------------------------------- §7 (7.6, 7.7, 7.8) LPs
 
@@ -88,6 +121,8 @@ struct CapacitySweepConfig {
   std::size_t min_side = 2;
   std::size_t max_side = 7;
   bool include_nonuniform = false;
+  /// Interleaved selection over the (side, level) points.
+  PointShard shard{};
 };
 
 /// Figures 7.6/7.7/7.8: for each grid side and capacity level c_i, solve LP
@@ -113,6 +148,8 @@ struct IterativeSweepConfig {
   /// exhaustive search on these topologies.
   std::size_t anchor_count = 12;
   double alpha = 0.0;
+  /// Interleaved selection over the capacity levels.
+  PointShard shard{};
 };
 
 /// Figure 8.9: network delay of the iterative many-to-one algorithm, per
@@ -130,9 +167,10 @@ struct IterativeSweepConfig {
 struct LargeTopologyPoint {
   std::string scenario;           // e.g. "daxlist-161", "synthetic-500".
   std::string system;             // e.g. "Grid(7x7)", "Majority(25/49)".
+  std::string objective;          // "load-aware" or "closest".
   std::string stage;              // "constructive" or "local-opt".
   double alpha = 0.0;             // Load coefficient of the scenario.
-  double response_ms = 0.0;       // Load-aware objective of the placement.
+  double response_ms = 0.0;       // Objective value of the placement.
   double network_delay_ms = 0.0;  // alpha = 0 objective of the same placement.
   std::size_t moves = 0;          // Accepted relocations (0 for constructive).
   double stage_ms = 0.0;          // Wall-clock of producing the stage.
@@ -148,12 +186,16 @@ struct LargeTopologyConfig {
   /// Round cap for the load-aware local search.
   std::size_t max_rounds = 60;
   core::LocalSearchStrategy strategy = core::LocalSearchStrategy::BestImprovement;
+  /// Also run the §6 closest-strategy objective (two more rows per system).
+  bool include_closest = true;
 };
 
 /// The large-topology figure: constructive placements (§4.1.1, anchored at
-/// the scenario's central sites, scored by the load-aware objective) vs the
-/// load-aware local optima the incremental DeltaEvaluator search reaches
-/// from them, for Grid and Majority at n = 49. Two rows per system.
+/// the scenario's central sites, scored by the scenario's demand-weighted
+/// objectives) vs the local optima the incremental DeltaEvaluator search
+/// reaches from them, for Grid and Majority at n = 49 — under the balanced
+/// load-aware objective and (optionally) the closest-strategy one. Two rows
+/// per (system, objective).
 [[nodiscard]] std::vector<LargeTopologyPoint> large_topology_sweep(
     const sim::Scenario& scenario, const LargeTopologyConfig& config = {});
 

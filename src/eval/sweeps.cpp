@@ -44,11 +44,12 @@ void print_csv(std::ostream& out, std::span<const IterativePoint> points) {
 }
 
 void print_csv(std::ostream& out, std::span<const LargeTopologyPoint> points) {
-  out << "scenario,system,stage,alpha,response_ms,network_delay_ms,moves,stage_ms\n";
+  out << "scenario,system,objective,stage,alpha,response_ms,network_delay_ms,moves,"
+         "stage_ms\n";
   for (const LargeTopologyPoint& p : points) {
-    out << p.scenario << ',' << p.system << ',' << p.stage << ',' << p.alpha << ','
-        << p.response_ms << ',' << p.network_delay_ms << ',' << p.moves << ','
-        << p.stage_ms << '\n';
+    out << p.scenario << ',' << p.system << ',' << p.objective << ',' << p.stage << ','
+        << p.alpha << ',' << p.response_ms << ',' << p.network_delay_ms << ','
+        << p.moves << ',' << p.stage_ms << '\n';
   }
 }
 

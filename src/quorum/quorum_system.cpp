@@ -9,14 +9,16 @@
 namespace qp::quorum {
 
 std::span<const double> QuorumSystem::uniform_load_cached() const {
-  // Keyed by name() because names carry the defining parameters (e.g.
-  // "Majority(5/9)", "Grid(3x3)"), so equal-named systems have equal loads.
-  // Entries live for the program lifetime, making the spans safe to cache in
-  // evaluators that outlive this system instance.
+  // Keyed by (name(), universe_size()): built-in names carry the defining
+  // parameters (e.g. "Majority(5/9)", "Grid(3x3)"), but custom systems may
+  // reuse a name across different universe sizes — keying on the size too
+  // keeps those from colliding (a collision would hand one system the
+  // other's load table). Entries live for the program lifetime, making the
+  // spans safe to cache in evaluators that outlive this system instance.
   static std::mutex mutex;
-  static std::map<std::string, std::vector<double>>& cache =
-      *new std::map<std::string, std::vector<double>>;
-  std::string key = name();
+  static std::map<std::pair<std::string, std::size_t>, std::vector<double>>& cache =
+      *new std::map<std::pair<std::string, std::size_t>, std::vector<double>>;
+  std::pair<std::string, std::size_t> key{name(), universe_size()};
   {
     const std::scoped_lock lock{mutex};
     const auto it = cache.find(key);

@@ -74,7 +74,8 @@ class QuorumSystem {
   [[nodiscard]] virtual std::vector<double> uniform_load() const = 0;
 
   /// Memoized uniform_load() with program-lifetime storage, keyed by the
-  /// system's (parameter-carrying) name. Systems whose uniform load is
+  /// system's (parameter-carrying) name plus its universe size (same-named
+  /// systems of different sizes do not collide). Systems whose uniform load is
   /// computed by enumeration (Tree, FPP) pay that cost once instead of per
   /// evaluation; the load-aware objective layer calls this on every naive
   /// evaluation. Thread-safe.

@@ -92,6 +92,14 @@ double Scenario::alpha() const noexcept {
   return core::kQuWriteServiceMs * mean_demand();
 }
 
+core::LoadAwareObjective Scenario::load_objective() const {
+  return core::LoadAwareObjective::for_demand(std::span<const double>{client_demand});
+}
+
+core::ClosestStrategyObjective Scenario::closest_objective() const {
+  return core::ClosestStrategyObjective::for_demand(std::span<const double>{client_demand});
+}
+
 Scenario make_scenario(const ScenarioConfig& config) {
   if (config.site_count == 0) {
     throw std::invalid_argument{"make_scenario: site_count must be positive"};

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/objective.hpp"
 #include "net/latency_matrix.hpp"
 #include "net/synthetic.hpp"
 
@@ -49,6 +50,13 @@ struct Scenario {
   /// The §7 response-model coefficient for this workload:
   /// kQuWriteServiceMs * mean_demand().
   [[nodiscard]] double alpha() const noexcept;
+
+  /// Demand-weighted search objectives of this workload: per-client weights
+  /// from client_demand, alpha from the mean demand. load_objective is the
+  /// §7 balanced-strategy response time, closest_objective the §6
+  /// closest-strategy one.
+  [[nodiscard]] core::LoadAwareObjective load_objective() const;
+  [[nodiscard]] core::ClosestStrategyObjective closest_objective() const;
 };
 
 /// Generates the scenario for `config`. Throws on zero sites, a shape <= 1,

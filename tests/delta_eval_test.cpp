@@ -115,6 +115,44 @@ TEST(DeltaEval, RandomizedMoveSequencesStayInParity) {
   }
 }
 
+TEST(DeltaEval, IncrementalRepairMatchesFreshRebuildBitwise) {
+  // apply_move now repairs the per-client tables in place instead of
+  // rebuilding; the repaired state must equal a freshly-constructed
+  // evaluator's (same sorted multisets, same accumulation order), for the
+  // network-delay objective and the load-aware one-to-one invariant alike.
+  const LoadAwareObjective load_aware{9.0};
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 11, 317);
+    for (const Objective* objective :
+         {&network_delay_objective(), static_cast<const Objective*>(&load_aware)}) {
+      common::Rng rng{37};
+      Placement placement = random_one_to_one(m, n, rng);
+      DeltaEvaluator eval{m, *test_case.system, placement, *objective};
+      std::vector<bool> used(m.size(), false);
+      for (std::size_t site : placement.site_of) used[site] = true;
+      for (int step = 0; step < 12; ++step) {
+        // One-to-one moves to unused sites: the single-coordinate repair path.
+        const std::size_t u = static_cast<std::size_t>(rng.below(n));
+        std::size_t w = static_cast<std::size_t>(rng.below(m.size()));
+        while (used[w]) w = (w + 1) % m.size();
+        used[placement.site_of[u]] = false;
+        used[w] = true;
+        eval.apply_move(u, w);
+        placement.site_of[u] = w;
+        const DeltaEvaluator fresh{m, *test_case.system, placement, *objective};
+        EXPECT_EQ(eval.objective(), fresh.objective())
+            << test_case.label << " step " << step << " objective bitwise";
+        // Candidate answers from repaired tables match the fresh ones too.
+        const std::size_t cu = static_cast<std::size_t>(rng.below(n));
+        const std::size_t cw = static_cast<std::size_t>(rng.below(m.size()));
+        EXPECT_EQ(eval.objective_if_moved(cu, cw), fresh.objective_if_moved(cu, cw))
+            << test_case.label << " step " << step << " candidate bitwise";
+      }
+    }
+  }
+}
+
 TEST(DeltaEval, RandomMatricesManyTrials) {
   // Random matrices: several seeds, Majority + Grid (the two analytic
   // delta paths), every candidate move checked against the naive objective.

@@ -6,6 +6,9 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
 
 #include "eval/figures.hpp"
 #include "eval/sweeps.hpp"
@@ -118,6 +121,116 @@ TEST(Figures, IterativeSweepRejectsOversizedGrid) {
   IterativeSweepConfig config;
   config.side = 4;  // 16 > 12 sites.
   EXPECT_THROW((void)iterative_sweep(topo12(), config), std::invalid_argument);
+}
+
+TEST(PointShard, ParsesOneBasedSpecs) {
+  EXPECT_EQ(parse_point_shard(nullptr).count, 1u);
+  EXPECT_EQ(parse_point_shard("").count, 1u);
+  const PointShard shard = parse_point_shard("2/4");
+  EXPECT_EQ(shard.index, 1u);
+  EXPECT_EQ(shard.count, 4u);
+  EXPECT_FALSE(shard.contains(0));
+  EXPECT_TRUE(shard.contains(1));
+  EXPECT_TRUE(shard.contains(5));
+  EXPECT_TRUE(PointShard{}.contains(17));
+  EXPECT_THROW((void)parse_point_shard("0/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_point_shard("5/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_point_shard("banana"), std::invalid_argument);
+  EXPECT_THROW((void)parse_point_shard("2/4x"), std::invalid_argument);
+  // Signed specs must throw, not wrap through std::stoul.
+  EXPECT_THROW((void)parse_point_shard("2/-1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_point_shard("-1/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_point_shard("+2/4"), std::invalid_argument);
+}
+
+TEST(PointShard, EmptyShardSkipsTheIterativeBaseline) {
+  IterativeSweepConfig config;
+  config.side = 2;
+  config.levels = 2;
+  config.anchor_count = 4;
+  config.shard = PointShard{7, 8};  // Selects none of the 2 levels.
+  EXPECT_TRUE(iterative_sweep(topo12(), config).empty());
+}
+
+TEST(PointShard, GridDemandShardsPartitionTheFullSweep) {
+  // Interleaved shards of one figure reassemble exactly the unsharded rows.
+  const std::vector<double> demands{1000.0, 4000.0, 16000.0};
+  const auto full = grid_demand_sweep(topo12(), demands, 0);
+  std::vector<GridDemandPoint> merged;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto part = grid_demand_sweep(topo12(), demands, 0, {}, PointShard{i, 2});
+    merged.insert(merged.end(), part.begin(), part.end());
+    EXPECT_LT(part.size(), full.size());
+  }
+  ASSERT_EQ(merged.size(), full.size());
+  // Same multiset of rows (shards interleave, so order differs).
+  const auto key = [](const GridDemandPoint& p) {
+    return std::tuple<std::size_t, double, std::string>{p.universe, p.client_demand,
+                                                        p.strategy};
+  };
+  std::vector<std::tuple<std::size_t, double, std::string>> full_keys;
+  std::vector<std::tuple<std::size_t, double, std::string>> merged_keys;
+  for (const auto& p : full) full_keys.push_back(key(p));
+  for (const auto& p : merged) merged_keys.push_back(key(p));
+  std::sort(full_keys.begin(), full_keys.end());
+  std::sort(merged_keys.begin(), merged_keys.end());
+  EXPECT_EQ(full_keys, merged_keys);
+  // Shard values equal the unsharded values exactly (same placements, same
+  // arithmetic).
+  for (const auto& p : merged) {
+    const auto match = std::find_if(full.begin(), full.end(), [&](const auto& q) {
+      return key(q) == key(p);
+    });
+    ASSERT_NE(match, full.end());
+    EXPECT_EQ(p.response_ms, match->response_ms);
+    EXPECT_EQ(p.network_delay_ms, match->network_delay_ms);
+  }
+}
+
+TEST(PointShard, CapacityAndIterativeSweepsShard) {
+  CapacitySweepConfig capacity;
+  capacity.min_side = 2;
+  capacity.max_side = 3;
+  capacity.levels = 4;
+  const auto full = capacity_sweep(topo12(), capacity);
+  std::size_t sharded_total = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    capacity.shard = PointShard{i, 4};
+    sharded_total += capacity_sweep(topo12(), capacity).size();
+  }
+  EXPECT_EQ(sharded_total, full.size());
+
+  IterativeSweepConfig iterative;
+  iterative.side = 2;
+  iterative.levels = 2;
+  iterative.anchor_count = 4;
+  iterative.shard = PointShard{0, 2};
+  const auto half = iterative_sweep(topo12(), iterative);
+  EXPECT_EQ(rows_for_stage(half, "one-to-one").size(), 1u);
+}
+
+TEST(Figures, GridDemandConstantProfileReproducesUniformExactly) {
+  // The demand-weighted sweep with a constant profile must reproduce the
+  // uniform-demand rows bitwise (the PR-3 regression parity guarantee).
+  const std::vector<double> demands{1000.0, 16000.0};
+  const auto uniform = grid_demand_sweep(topo12(), demands, 3);
+  const std::vector<double> constant_profile(topo12().size(), 7.5);
+  const auto weighted = grid_demand_sweep(topo12(), demands, 3, constant_profile);
+  ASSERT_EQ(weighted.size(), uniform.size());
+  for (std::size_t i = 0; i < uniform.size(); ++i) {
+    EXPECT_EQ(weighted[i].response_ms, uniform[i].response_ms) << "row " << i;
+    EXPECT_EQ(weighted[i].network_delay_ms, uniform[i].network_delay_ms) << "row " << i;
+    EXPECT_EQ(weighted[i].strategy, uniform[i].strategy) << "row " << i;
+  }
+  // A genuinely skewed profile changes the evaluations.
+  std::vector<double> skewed(topo12().size(), 1.0);
+  skewed[0] = 500.0;
+  const auto skewed_rows = grid_demand_sweep(topo12(), demands, 3, skewed);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < uniform.size(); ++i) {
+    any_differs = any_differs || skewed_rows[i].response_ms != uniform[i].response_ms;
+  }
+  EXPECT_TRUE(any_differs);
 }
 
 TEST(Figures, CsvEscapesNothingButIsParseable) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CTest coverage for bench/merge_shards.py.
+
+Builds two synthetic shard directories and checks:
+  * BENCH_*.json benchmark arrays are unioned, deduplicated by name;
+  * a differing git_sha between shards prints the mismatch warning;
+  * CSVs with a shared header merge row-wise (per-point shards), while a
+    differing header keeps the first copy and warns.
+
+Usage: merge_shards_test.py <path-to-merge_shards.py>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FAILURES = []
+
+
+def check(condition, message):
+    if not condition:
+        FAILURES.append(message)
+        print(f"FAIL: {message}", file=sys.stderr)
+    else:
+        print(f"ok: {message}")
+
+
+def bench_json(git_sha, names):
+    return {
+        "context": {"git_sha": git_sha, "date": "2026-07-26T00:00:00Z"},
+        "benchmarks": [{"name": name, "real_time": i + 1.0} for i, name in enumerate(names)],
+    }
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    merge_script = Path(argv[1]).resolve()
+    check(merge_script.is_file(), f"merge script exists at {merge_script}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        shard_a = root / "shard_a"
+        shard_b = root / "shard_b"
+        merged = root / "merged"
+        shard_a.mkdir()
+        shard_b.mkdir()
+
+        # Overlapping figure, disjoint points, differing git_sha.
+        (shard_a / "BENCH_fig.json").write_text(
+            json.dumps(bench_json("aaaa11112222", ["Fig/n=4", "Fig/n=9"])))
+        (shard_b / "BENCH_fig.json").write_text(
+            json.dumps(bench_json("bbbb33334444", ["Fig/n=9", "Fig/n=16"])))
+        # A figure only shard B ran.
+        (shard_b / "BENCH_solo.json").write_text(
+            json.dumps(bench_json("bbbb33334444", ["Solo/point"])))
+        # Point-sharded CSV halves of one figure (shared header).
+        (shard_a / "fig.csv").write_text("universe,response_ms\n4,10.5\n")
+        (shard_b / "fig.csv").write_text("universe,response_ms\n9,12.5\n16,14.5\n")
+        # Same name, different header: first copy must win.
+        (shard_a / "other.csv").write_text("a,b\n1,2\n")
+        (shard_b / "other.csv").write_text("a,b,c\n1,2,3\n")
+
+        result = subprocess.run(
+            [sys.executable, str(merge_script), str(merged), str(shard_a), str(shard_b)],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        print(result.stdout)
+        print(result.stderr, file=sys.stderr)
+        check(result.returncode == 0, "merge exits 0")
+        check("git_sha bbbb33334444 differs" in result.stderr,
+              "git_sha mismatch warning names the conflicting sha")
+
+        with (merged / "BENCH_fig.json").open() as fh:
+            fig = json.load(fh)
+        names = [b["name"] for b in fig["benchmarks"]]
+        check(names == ["Fig/n=4", "Fig/n=9", "Fig/n=16"],
+              f"benchmark arrays unioned, first copy wins dedup (got {names})")
+        check(fig["context"]["git_sha"] == "aaaa11112222", "first shard's context kept")
+        with (merged / "BENCH_solo.json").open() as fh:
+            check([b["name"] for b in json.load(fh)["benchmarks"]] == ["Solo/point"],
+                  "single-shard figure copied through")
+
+        fig_csv = (merged / "fig.csv").read_text().splitlines()
+        check(fig_csv == ["universe,response_ms", "4,10.5", "9,12.5", "16,14.5"],
+              f"point-sharded CSV rows unioned in order (got {fig_csv})")
+        check((merged / "other.csv").read_text() == "a,b\n1,2\n",
+              "differing-header CSV keeps the first copy")
+        check("header differs" in result.stderr, "differing-header CSV warns")
+
+        # Malformed JSON must fail the merge.
+        bad = root / "bad_shard"
+        bad.mkdir()
+        (bad / "BENCH_fig.json").write_text("{not json")
+        bad_run = subprocess.run(
+            [sys.executable, str(merge_script), str(root / "merged2"), str(bad)],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        check(bad_run.returncode != 0, "malformed shard JSON fails the merge")
+
+    if FAILURES:
+        print(f"{len(FAILURES)} check(s) failed", file=sys.stderr)
+        return 1
+    print("all merge_shards checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -374,6 +374,171 @@ TEST(ObjectiveIterative, ObjectiveOverloadMatchesBareAlpha) {
   EXPECT_DOUBLE_EQ(via_objective.avg_response, via_alpha.avg_response);
 }
 
+std::vector<double> random_demand(std::size_t clients, common::Rng& rng) {
+  std::vector<double> demand(clients);
+  for (double& d : demand) d = rng.uniform(0.5, 20.0);
+  return demand;
+}
+
+TEST(DemandWeightedObjective, LoadAwareMatchesWeightedBalancedEvaluation) {
+  // The demand-weighted load-aware objective is the demand-weighted §7
+  // balanced response: per-client terms weighted by demand share, load model
+  // untouched (the balanced load is demand-invariant).
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 9, 211);
+    common::Rng rng{67};
+    const std::vector<double> demand = random_demand(m.size(), rng);
+    const LoadAwareObjective objective{11.0, std::span<const double>{demand}};
+    EXPECT_FALSE(objective.client_weights().empty());
+    for (int trial = 0; trial < 2; ++trial) {
+      const Placement placement = trial == 1 ? random_many_to_one(m, n, rng)
+                                             : random_one_to_one(m, n, rng);
+      const double value = objective.evaluate(m, *test_case.system, placement);
+      const Evaluation balanced =
+          evaluate_balanced(m, *test_case.system, placement, 11.0, demand);
+      EXPECT_NEAR(value, balanced.avg_response_ms,
+                  1e-9 * std::max(1.0, balanced.avg_response_ms))
+          << test_case.label << " trial " << trial;
+    }
+  }
+}
+
+TEST(DemandWeightedObjective, ConstantDemandCollapsesToUniformExactly) {
+  const LatencyMatrix m = net::small_synth(14, 223);
+  const quorum::MajorityQuorum majority{5, 3};
+  common::Rng rng{71};
+  const Placement placement = random_one_to_one(m, 5, rng);
+  const std::vector<double> constant(m.size(), 4000.0);
+  const LoadAwareObjective weighted =
+      LoadAwareObjective::for_demand(std::span<const double>{constant});
+  EXPECT_TRUE(weighted.client_weights().empty());
+  EXPECT_DOUBLE_EQ(weighted.alpha(), kQuWriteServiceMs * 4000.0);
+  const LoadAwareObjective uniform{weighted.alpha()};
+  // Bitwise equality: constant demand runs the identical uniform arithmetic.
+  EXPECT_EQ(weighted.evaluate(m, majority, placement),
+            uniform.evaluate(m, majority, placement));
+  const Evaluation via_demand = evaluate_balanced(m, majority, placement, 28.0, constant);
+  const Evaluation via_uniform = evaluate_balanced(m, majority, placement, 28.0);
+  EXPECT_EQ(via_demand.avg_response_ms, via_uniform.avg_response_ms);
+}
+
+TEST(DemandWeightedObjective, DeltaEvaluatorMatchesNaiveUnderDemand) {
+  // Demand weights thread through every DeltaEvaluator mode: candidates and
+  // committed moves stay in parity with the weighted naive evaluation.
+  for (const SystemCase& test_case : all_systems()) {
+    const std::size_t n = test_case.system->universe_size();
+    const LatencyMatrix m = net::small_synth(n + 8, 227);
+    common::Rng rng{73};
+    const std::vector<double> demand = random_demand(m.size(), rng);
+    const LoadAwareObjective objective{17.0, std::span<const double>{demand}};
+    Placement placement = random_one_to_one(m, n, rng);
+    DeltaEvaluator eval{m, *test_case.system, placement, objective};
+    const double naive0 = objective.evaluate(m, *test_case.system, placement);
+    EXPECT_NEAR(eval.objective(), naive0, 1e-9 * std::max(1.0, naive0)) << test_case.label;
+    for (int step = 0; step < 10; ++step) {
+      const std::size_t u = static_cast<std::size_t>(rng.below(n));
+      const std::size_t w = static_cast<std::size_t>(rng.below(m.size()));
+      const double predicted = eval.objective_if_moved(u, w);
+      eval.apply_move(u, w);
+      placement.site_of[u] = w;
+      const double naive = objective.evaluate(m, *test_case.system, placement);
+      EXPECT_NEAR(predicted, naive, 1e-9 * std::max(1.0, naive))
+          << test_case.label << " step " << step;
+      EXPECT_NEAR(eval.objective(), naive, 1e-9 * std::max(1.0, naive))
+          << test_case.label << " step " << step;
+    }
+  }
+}
+
+TEST(DemandWeightedObjective, BestPlacementAndLocalSearchConsumeWeights) {
+  const LatencyMatrix m = net::small_synth(20, 229);
+  const quorum::GridQuorum grid{3};
+  common::Rng rng{79};
+  const std::vector<double> demand = random_demand(m.size(), rng);
+  const NetworkDelayObjective objective{std::span<const double>{demand}};
+  // best_placement scored by the demand-weighted objective matches a serial
+  // scan of the same evaluations.
+  PlacementSearchResult expected;
+  expected.avg_network_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t v0 = 0; v0 < m.size(); ++v0) {
+    Placement placement = grid_placement_for_client(m, 3, v0);
+    const double value = objective.evaluate(m, grid, placement);
+    if (value < expected.avg_network_delay) {
+      expected.avg_network_delay = value;
+      expected.anchor_client = v0;
+      expected.placement = std::move(placement);
+    }
+  }
+  const PlacementSearchResult actual = best_placement(
+      m, grid, objective, [&](std::size_t v0) { return grid_placement_for_client(m, 3, v0); });
+  EXPECT_EQ(actual.anchor_client, expected.anchor_client);
+  EXPECT_EQ(actual.placement.site_of, expected.placement.site_of);
+
+  LocalSearchOptions delta_options;
+  delta_options.objective = &objective;
+  delta_options.threads = 1;
+  const LocalSearchResult delta = local_search_placement(m, grid, actual.placement,
+                                                         delta_options);
+  LocalSearchOptions naive_options = delta_options;
+  naive_options.engine = LocalSearchEngine::Naive;
+  const LocalSearchResult naive = local_search_placement(m, grid, actual.placement,
+                                                         naive_options);
+  EXPECT_EQ(delta.placement.site_of, naive.placement.site_of);
+  EXPECT_EQ(delta.moves, naive.moves);
+}
+
+/// Two custom systems sharing a name but differing in universe size: the
+/// memoized load hook must key on (name, n), not the name alone.
+class NamedStubSystem final : public quorum::QuorumSystem {
+ public:
+  explicit NamedStubSystem(std::size_t n) : n_(n) {}
+  [[nodiscard]] std::size_t universe_size() const noexcept override { return n_; }
+  [[nodiscard]] std::string name() const override { return "cache-collision-stub"; }
+  [[nodiscard]] double quorum_count() const noexcept override { return 1.0; }
+  [[nodiscard]] std::vector<quorum::Quorum> enumerate_quorums(std::size_t) const override {
+    quorum::Quorum all(n_);
+    for (std::size_t u = 0; u < n_; ++u) all[u] = u;
+    return {all};
+  }
+  [[nodiscard]] quorum::Quorum best_quorum(std::span<const double> values) const override {
+    quorum::check_values_size(*this, values);
+    return enumerate_quorums(1)[0];
+  }
+  [[nodiscard]] double expected_max_uniform(std::span<const double> values) const override {
+    quorum::check_values_size(*this, values);
+    double worst = 0.0;
+    for (double x : values) worst = std::max(worst, x);
+    return worst;
+  }
+  [[nodiscard]] std::vector<double> uniform_load() const override {
+    // Size-dependent table so a cache collision is observable.
+    return std::vector<double>(n_, static_cast<double>(n_));
+  }
+  [[nodiscard]] double optimal_load() const override { return 1.0; }
+  [[nodiscard]] std::vector<quorum::Quorum> sample_quorums(std::size_t count,
+                                                           common::Rng&) const override {
+    return std::vector<quorum::Quorum>(count, enumerate_quorums(1)[0]);
+  }
+
+ private:
+  std::size_t n_;
+};
+
+TEST(QuorumLoadHook, CacheKeyIncludesUniverseSize) {
+  const NamedStubSystem small{3};
+  const NamedStubSystem large{5};
+  const std::span<const double> small_load = small.uniform_load_cached();
+  const std::span<const double> large_load = large.uniform_load_cached();
+  ASSERT_EQ(small_load.size(), 3u);
+  ASSERT_EQ(large_load.size(), 5u);  // Pre-fix this returned the 3-entry table.
+  for (double x : small_load) EXPECT_DOUBLE_EQ(x, 3.0);
+  for (double x : large_load) EXPECT_DOUBLE_EQ(x, 5.0);
+  // Memoized per key: repeated calls return identical storage.
+  EXPECT_EQ(small.uniform_load_cached().data(), small_load.data());
+  EXPECT_EQ(large.uniform_load_cached().data(), large_load.data());
+}
+
 TEST(QuorumLoadHook, CachedUniformLoadMatchesVirtual) {
   for (const SystemCase& test_case : all_systems()) {
     const std::vector<double> direct = test_case.system->uniform_load();

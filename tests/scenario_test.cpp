@@ -103,17 +103,32 @@ TEST(LargeTopologySweep, ConstructiveThenLocalOptimumRows) {
   sweep.majority_quorum = 5;
   sweep.anchor_count = 8;
   const auto points = eval::large_topology_sweep(scenario, sweep);
-  ASSERT_EQ(points.size(), 4u);
+  // (constructive, local-opt) per (system, objective): 2 systems x
+  // {load-aware, closest} x 2 stages.
+  ASSERT_EQ(points.size(), 8u);
+  std::size_t closest_rows = 0;
   for (std::size_t i = 0; i < points.size(); i += 2) {
     EXPECT_EQ(points[i].stage, "constructive");
     EXPECT_EQ(points[i + 1].stage, "local-opt");
     EXPECT_EQ(points[i].scenario, scenario.name);
+    EXPECT_EQ(points[i].objective, points[i + 1].objective);
+    EXPECT_TRUE(points[i].objective == "load-aware" || points[i].objective == "closest");
+    closest_rows += points[i].objective == "closest" ? 2 : 0;
     // Local search never worsens the objective it optimizes.
     EXPECT_LE(points[i + 1].response_ms, points[i].response_ms + 1e-9);
-    // The load term makes response >= pure network delay.
-    EXPECT_GE(points[i].response_ms, points[i].network_delay_ms - 1e-9);
+    // (The historical response >= network-delay check no longer applies:
+    // response_ms is now the demand-weighted objective while the delay
+    // column stays the uniform balanced measure, and the closest objective
+    // prices a cheaper argmin quorum.)
+    EXPECT_GT(points[i].response_ms, 0.0);
+    EXPECT_GT(points[i].network_delay_ms, 0.0);
     EXPECT_GT(points[i].alpha, 0.0);
   }
+  EXPECT_EQ(closest_rows, 4u);
+
+  eval::LargeTopologyConfig load_only = sweep;
+  load_only.include_closest = false;
+  EXPECT_EQ(eval::large_topology_sweep(scenario, load_only).size(), 4u);
 }
 
 TEST(LargeTopologySweep, RejectsUndersizedTopologies) {
