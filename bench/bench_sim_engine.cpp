@@ -1,0 +1,114 @@
+// Sim-validation figure: the discrete-event queueing engine (sim/engine)
+// cross-checked against the analytic closest/balanced/LP objectives.
+//
+// Rows: {Grid(7x7), Majority(25/49)} on Planetlab-50 at rho in
+// {0.3, 0.6, 0.9} for closest + balanced (+ the LP-exported explicit
+// strategy on the Grid), one outage row and one bursty MMPP row per
+// system, plus demand-weighted scenario rows on daxlist-161 and
+// synthetic-500. divergence_pct is the figure's payload: ~0 at rho 0.3
+// (the 3% band the engine tests enforce), growing at 0.6/0.9 and under
+// bursts/outages as the linear alpha*load surrogate stops modelling
+// queueing. The timing benchmark records engine event throughput.
+//
+// QP_SIM_SMOKE=1 shrinks the simulated horizon for CI smoke runs;
+// QP_POINT_SHARD (run_all.sh --points K/N) shards the row set.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/placement.hpp"
+#include "eval/sim_validation.hpp"
+#include "eval/sweeps.hpp"
+#include "net/synthetic.hpp"
+#include "quorum/grid.hpp"
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace qp;
+
+// Timing kernel: engine requests-per-second on the Grid at rho = 0.6 —
+// the genuine cost of a validation row, in simulated requests completed
+// per wall-clock second.
+void BM_EngineGridRho06(benchmark::State& state) {
+  const net::LatencyMatrix matrix = net::planetlab50_synth();
+  const quorum::GridQuorum grid{7};
+  const core::Placement placement = core::best_grid_placement(matrix, 7).placement;
+  const std::vector<double> site_load =
+      core::site_loads_balanced(grid, placement, matrix.size());
+  const std::vector<double> rates = sim::scale_rates_to_peak_utilization(
+      std::vector<double>(matrix.size(), 1.0), site_load, 1.0, 0.6);
+  sim::EngineConfig config;
+  config.warmup_ms = 200.0;
+  config.duration_ms = 1'000.0;
+  config.replications = 1;
+  std::size_t completed = 0;
+  for (auto _ : state) {
+    const sim::EngineResult result = run_engine(matrix, grid, placement, rates, config);
+    completed += result.completed;
+    ++config.master_seed;
+    benchmark::DoNotOptimize(result.mean_response_ms);
+  }
+  state.counters["sim_requests_per_s"] =
+      benchmark::Counter(static_cast<double>(completed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineGridRho06)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "# Sim validation: analytic objectives vs discrete-event engine\n";
+  const bool smoke = std::getenv("QP_SIM_SMOKE") != nullptr;
+
+  eval::SimValidationConfig config;
+  config.rho_values = {0.3, 0.6, 0.9};
+  config.include_lp = true;
+  config.include_outage = true;
+  config.include_mmpp = true;
+  config.shard = eval::point_shard_from_env();  // run_all.sh --points K/N.
+  if (smoke) {
+    config.rho_values = {0.3};
+    config.include_lp = false;
+    config.warmup_ms = 200.0;
+    config.duration_ms = 1'000.0;
+    config.replications = 1;
+  }
+  std::vector<eval::SimValidationPoint> points =
+      eval::sim_validation_sweep(net::planetlab50_synth(), config);
+
+  eval::SimValidationConfig scenario_config = config;
+  scenario_config.rho_values = smoke ? std::vector<double>{0.3}
+                                     : std::vector<double>{0.3, 0.6};
+  scenario_config.include_lp = false;
+  scenario_config.include_outage = false;
+  scenario_config.include_mmpp = false;
+  for (const sim::Scenario& scenario :
+       {sim::daxlist161_scenario(), sim::synthetic500_scenario()}) {
+    const auto rows = eval::sim_validation_scenario(scenario, scenario_config);
+    points.insert(points.end(), rows.begin(), rows.end());
+  }
+  eval::print_csv(std::cout, points);
+
+  for (const auto& p : points) {
+    char rho[32];
+    std::snprintf(rho, sizeof rho, "%.2f", p.target_rho);
+    std::string name = "SimValidation/" + p.scenario + "/" + p.system + "/" + p.strategy +
+                       "/" + p.arrivals + "/rho=" + rho;
+    if (p.outage) name += "/outage";
+    qp::bench::register_point(name, [p](benchmark::State& state) {
+      state.counters["analytic_ms"] = p.analytic_ms;
+      state.counters["simulated_ms"] = p.simulated_ms;
+      state.counters["divergence_pct"] = p.divergence_pct;
+      state.counters["p99_ms"] = p.p99_ms;
+      state.counters["peak_utilization"] = p.peak_utilization;
+      state.counters["dropped_messages"] = static_cast<double>(p.dropped_messages);
+    });
+  }
+  return qp::bench::run_benchmarks(argc, argv);
+}

@@ -12,9 +12,12 @@
 #                  figure binary runs, but each one computes only the K-th of
 #                  N interleaved point slices of its sweep (exported as
 #                  QP_POINT_SHARD; see eval::point_shard_from_env). Lets one
-#                  expensive figure (e.g. fig6_5 at 16000 demand) fan out
-#                  across hosts; recombine with bench/merge_shards.py, which
-#                  unions the per-figure benchmark arrays and CSV rows.
+#                  expensive figure (e.g. fig6_5 at 16000 demand, or the
+#                  bench_sim_engine validation rows, which simulate tens of
+#                  thousands of quorum operations per (system, strategy, rho)
+#                  point) fan out across hosts; recombine with
+#                  bench/merge_shards.py, which unions the per-figure
+#                  benchmark arrays and CSV rows.
 #   BUILD_DIR=...  override the build tree (default: build/release)
 #   FILTER=regex   only run benchmarks whose name matches the regex
 set -euo pipefail

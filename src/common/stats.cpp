@@ -53,14 +53,20 @@ double mean(std::span<const double> xs) noexcept {
 }
 
 double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) throw std::invalid_argument{"percentile: empty input"};
   if (p < 0.0 || p > 100.0) throw std::invalid_argument{"percentile: p out of range"};
+  if (xs.empty()) throw std::invalid_argument{"percentile: empty input"};
   std::sort(xs.begin(), xs.end());
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  return percentile_sorted(xs, p);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument{"percentile: empty input"};
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument{"percentile: p out of range"};
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 double correlation(std::span<const double> xs, std::span<const double> ys) {

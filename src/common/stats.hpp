@@ -38,6 +38,10 @@ class RunningStats {
 /// Linear-interpolation percentile, p in [0,100]. Throws on empty input.
 [[nodiscard]] double percentile(std::vector<double> xs, double p);
 
+/// Same interpolation over already-sorted (ascending) data — callers that
+/// need several percentiles of one sample sort once and read the ranks.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double p);
+
 /// Pearson correlation; 0 if either side is constant. Throws on size mismatch.
 [[nodiscard]] double correlation(std::span<const double> xs, std::span<const double> ys);
 

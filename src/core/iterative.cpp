@@ -26,8 +26,11 @@ IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
                                     const Objective& objective,
                                     const IterativeOptions& options) {
   const double alpha = objective.alpha();
-  // Demand shares weight every evaluation (and its load attribution); the
-  // LP itself still optimizes the unweighted delay objective of (4.3).
+  // Demand shares weight every evaluation, its load attribution, AND the
+  // phase-2 LPs: both the delay objective and the capacity-row load
+  // coefficients charge client v its demand share, so the alternation's
+  // load-preservation argument holds for skewed workloads too (the phase-1
+  // loads it pins the caps to are demand-weighted the same way).
   const std::span<const double> demand = objective.client_weights();
   const std::vector<quorum::Quorum> quorums =
       system.enumerate_quorums(options.strategy.quorum_limit);
@@ -71,8 +74,8 @@ IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
     // the LP may only re-route delay, never concentrate load further.
     std::vector<double> load_caps = phase1.site_load;
     for (double& cap : load_caps) cap = cap * (1.0 + 1e-9) + 1e-12;
-    const StrategyLpResult lp_result =
-        optimize_access_strategy(matrix, system, placement, load_caps, options.strategy);
+    const StrategyLpResult lp_result = optimize_access_strategy(
+        matrix, system, placement, load_caps, demand, options.strategy);
     if (lp_result.status != lp::SolveStatus::Optimal) {
       // The carried strategy is feasible for these capacities by
       // construction, so this indicates numerical trouble; stop cleanly.

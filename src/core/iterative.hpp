@@ -52,11 +52,12 @@ struct IterativeResult {
 
 /// Runs the alternation starting from the uniform access strategy. The
 /// objective supplies the response-model alpha and the per-client demand
-/// weights used for the halting criterion and reported measurements (the
-/// phase LPs themselves still optimize the unweighted delay objective of
-/// (4.3), so uniform-demand runs are unchanged); `capacities` is the cap0
-/// vector of §4.2. Throws std::runtime_error if even the first iteration
-/// fails to produce a feasible placement.
+/// weights, which enter the halting criterion, the reported measurements,
+/// AND the phase-2 LPs (demand-weighted delay objective and capacity-row
+/// load coefficients — uniform-demand runs reproduce the unweighted (4.3)
+/// arithmetic bitwise); `capacities` is the cap0 vector of §4.2. Throws
+/// std::runtime_error if even the first iteration fails to produce a
+/// feasible placement.
 [[nodiscard]] IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
                                                   const quorum::QuorumSystem& system,
                                                   std::span<const double> capacities,

@@ -1,6 +1,7 @@
 #include "core/objective.hpp"
 
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "core/response.hpp"
@@ -24,6 +25,15 @@ void check_weights(std::span<const double> weights, std::size_t client_count,
 }
 
 }  // namespace
+
+std::optional<ExplicitStrategy> Objective::export_strategy(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement) const {
+  (void)matrix;
+  (void)system;
+  (void)placement;
+  return std::nullopt;  // Balanced: the engine samples uniform quorums directly.
+}
 
 std::vector<double> Objective::site_loads(const net::LatencyMatrix& matrix,
                                           const quorum::QuorumSystem& system,
@@ -186,6 +196,26 @@ double ClosestStrategyObjective::evaluate_ws(const net::LatencyMatrix& matrix,
     total += weights.empty() ? response : weights[v] * response;
   }
   return weights.empty() ? total / static_cast<double>(matrix.size()) : total;
+}
+
+std::optional<ExplicitStrategy> ClosestStrategyObjective::export_strategy(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement) const {
+  const std::vector<quorum::Quorum> chosen = closest_quorums(matrix, system, placement);
+  ExplicitStrategy strategy;
+  std::map<quorum::Quorum, std::size_t> index;
+  std::vector<std::size_t> client_quorum(chosen.size());
+  for (std::size_t v = 0; v < chosen.size(); ++v) {
+    const auto [it, inserted] = index.try_emplace(chosen[v], strategy.quorums.size());
+    if (inserted) strategy.quorums.push_back(chosen[v]);
+    client_quorum[v] = it->second;
+  }
+  strategy.probability.assign(chosen.size(),
+                              std::vector<double>(strategy.quorums.size(), 0.0));
+  for (std::size_t v = 0; v < chosen.size(); ++v) {
+    strategy.probability[v][client_quorum[v]] = 1.0;
+  }
+  return strategy;
 }
 
 const Objective& network_delay_objective() noexcept {

@@ -32,12 +32,14 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/eval_workspace.hpp"
 #include "core/placement.hpp"
+#include "core/strategy.hpp"
 #include "net/latency_matrix.hpp"
 #include "quorum/quorum_system.hpp"
 
@@ -90,6 +92,17 @@ class Objective {
   void fill_values(const net::LatencyMatrix& matrix, const Placement& placement,
                    std::span<const double> site_load, std::size_t client,
                    std::vector<double>& out) const;
+
+  /// Exports the access strategy this objective models as explicit
+  /// per-client quorum distributions — the hook the discrete-event engine
+  /// (sim/engine) uses to simulate exactly the strategy an objective
+  /// evaluates analytically. The closest strategy returns point masses on
+  /// each client's argmin quorum (tie-breaking included); balanced
+  /// objectives return nullopt, meaning "uniform over all quorums", which
+  /// the engine samples analytically without enumeration.
+  [[nodiscard]] virtual std::optional<ExplicitStrategy> export_strategy(
+      const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+      const Placement& placement) const;
 
   /// Naive full evaluation of J(f): the reference the incremental engine is
   /// checked against. Allocation-free in steady state via `workspace`. The
@@ -186,6 +199,9 @@ class ClosestStrategyObjective final : public Objective {
                                    const quorum::QuorumSystem& system,
                                    const Placement& placement,
                                    EvalWorkspace& workspace) const override;
+  [[nodiscard]] std::optional<ExplicitStrategy> export_strategy(
+      const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+      const Placement& placement) const override;
 
  private:
   double alpha_;

@@ -216,9 +216,33 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
                                           const Placement& placement,
                                           std::span<const double> capacities,
                                           const StrategyLpOptions& options) {
+  return optimize_access_strategy(matrix, system, placement, capacities,
+                                  std::span<const double>{}, options);
+}
+
+StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
+                                          const quorum::QuorumSystem& system,
+                                          const Placement& placement,
+                                          std::span<const double> capacities,
+                                          std::span<const double> client_weights,
+                                          const StrategyLpOptions& options) {
   placement.validate(matrix.size());
   if (capacities.size() != matrix.size()) {
     throw std::invalid_argument{"optimize_access_strategy: capacities size mismatch"};
+  }
+  if (!client_weights.empty()) {
+    if (client_weights.size() != matrix.size()) {
+      throw std::invalid_argument{
+          "optimize_access_strategy: client weight count != clients"};
+    }
+    for (double weight : client_weights) {
+      // A negative weight would reward delay and grant negative capacity
+      // consumption; reject like the rest of the demand-weighting stack.
+      if (!std::isfinite(weight) || weight < 0.0) {
+        throw std::invalid_argument{
+            "optimize_access_strategy: client weights must be finite and >= 0"};
+      }
+    }
   }
   const std::size_t client_count = matrix.size();
   const std::vector<quorum::Quorum> quorums = system.enumerate_quorums(options.quorum_limit);
@@ -242,15 +266,17 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
   }
 
   lp::LpProblem problem;
-  // Variables p_vi, indexed v * m + i; objective = delta_f(v, Q_i) / |V|.
+  // Variables p_vi, indexed v * m + i; objective = w_v * delta_f(v, Q_i)
+  // with w_v = demand share (the flat 1/|V| when unweighted).
   for (std::size_t v = 0; v < client_count; ++v) {
     const std::vector<double>& row = matrix.row(v);
+    const double weight = client_weights.empty() ? inv_clients : client_weights[v];
     for (std::size_t i = 0; i < m; ++i) {
       double delta = 0.0;
       for (const auto& [site, count] : quorum_sites[i]) {
         delta = std::max(delta, row[site]);
       }
-      (void)problem.add_variable(delta * inv_clients);
+      (void)problem.add_variable(delta * weight);
     }
   }
 
@@ -268,11 +294,12 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
   }
 
   for (std::size_t v = 0; v < client_count; ++v) {
+    const double weight = client_weights.empty() ? inv_clients : client_weights[v];
     for (std::size_t i = 0; i < m; ++i) {
       const std::size_t var = v * m + i;
       problem.add_coefficient(simplex_row[v], var, 1.0);
       for (const auto& [site, count] : quorum_sites[i]) {
-        problem.add_coefficient(capacity_row[site], var, count * inv_clients);
+        problem.add_coefficient(capacity_row[site], var, count * weight);
       }
     }
   }

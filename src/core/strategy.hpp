@@ -104,4 +104,15 @@ struct StrategyLpOptions {
                                                         std::span<const double> capacities,
                                                         const StrategyLpOptions& options = {});
 
+/// Demand-weighted LP: client v contributes weight w_v (its demand share,
+/// see core::demand_shares) instead of the flat 1/|V| — to the delay
+/// objective AND to the capacity-row load coefficients, so capacity
+/// feasibility reflects skewed workloads: a hot client's quorum choices
+/// consume proportionally more of every touched site's capacity. An empty
+/// span runs the exact uniform arithmetic above (bitwise identical).
+[[nodiscard]] StrategyLpResult optimize_access_strategy(
+    const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+    const Placement& placement, std::span<const double> capacities,
+    std::span<const double> client_weights, const StrategyLpOptions& options = {});
+
 }  // namespace qp::core

@@ -53,6 +53,19 @@ void print_csv(std::ostream& out, std::span<const LargeTopologyPoint> points) {
   }
 }
 
+void print_csv(std::ostream& out, std::span<const SimValidationPoint> points) {
+  out << "scenario,system,strategy,arrivals,target_rho,analytic_ms,simulated_ms,"
+         "divergence_pct,p50_ms,p95_ms,p99_ms,peak_utilization,completed,"
+         "dropped_messages,outage\n";
+  for (const SimValidationPoint& p : points) {
+    out << p.scenario << ',' << p.system << ',' << p.strategy << ',' << p.arrivals << ','
+        << p.target_rho << ',' << p.analytic_ms << ',' << p.simulated_ms << ','
+        << p.divergence_pct << ',' << p.p50_ms << ',' << p.p95_ms << ',' << p.p99_ms
+        << ',' << p.peak_utilization << ',' << p.completed << ',' << p.dropped_messages
+        << ',' << (p.outage ? 1 : 0) << '\n';
+  }
+}
+
 std::vector<IterativePoint> rows_for_stage(std::span<const IterativePoint> points,
                                            const std::string& stage) {
   std::vector<IterativePoint> result;

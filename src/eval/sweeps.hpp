@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "eval/figures.hpp"
+#include "eval/sim_validation.hpp"
 
 namespace qp::eval {
 
@@ -17,6 +18,7 @@ void print_csv(std::ostream& out, std::span<const GridDemandPoint> points);
 void print_csv(std::ostream& out, std::span<const CapacityPoint> points);
 void print_csv(std::ostream& out, std::span<const IterativePoint> points);
 void print_csv(std::ostream& out, std::span<const LargeTopologyPoint> points);
+void print_csv(std::ostream& out, std::span<const SimValidationPoint> points);
 
 /// Filters rows by a predicate-free convenience: rows matching a stage name.
 [[nodiscard]] std::vector<IterativePoint> rows_for_stage(

@@ -21,15 +21,20 @@ double GridQuorum::quorum_count() const noexcept {
 }
 
 Quorum GridQuorum::quorum_for(std::size_t row, std::size_t column) const {
-  if (row >= k_ || column >= k_) throw std::out_of_range{"GridQuorum::quorum_for"};
   Quorum quorum;
-  quorum.reserve(2 * k_ - 1);
-  for (std::size_t c = 0; c < k_; ++c) quorum.push_back(row * k_ + c);
-  for (std::size_t r = 0; r < k_; ++r) {
-    if (r != row) quorum.push_back(r * k_ + column);
-  }
-  std::sort(quorum.begin(), quorum.end());
+  quorum_for(row, column, quorum);
   return quorum;
+}
+
+void GridQuorum::quorum_for(std::size_t row, std::size_t column, Quorum& out) const {
+  if (row >= k_ || column >= k_) throw std::out_of_range{"GridQuorum::quorum_for"};
+  out.clear();
+  out.reserve(2 * k_ - 1);
+  for (std::size_t c = 0; c < k_; ++c) out.push_back(row * k_ + c);
+  for (std::size_t r = 0; r < k_; ++r) {
+    if (r != row) out.push_back(r * k_ + column);
+  }
+  std::sort(out.begin(), out.end());
 }
 
 std::vector<Quorum> GridQuorum::enumerate_quorums(std::size_t limit) const {
@@ -119,6 +124,12 @@ std::vector<Quorum> GridQuorum::sample_quorums(std::size_t count, common::Rng& r
     result.push_back(quorum_for(r, c));
   }
   return result;
+}
+
+void GridQuorum::sample_quorum(common::Rng& rng, Quorum& out) const {
+  const std::size_t row = static_cast<std::size_t>(rng.below(k_));
+  const std::size_t column = static_cast<std::size_t>(rng.below(k_));
+  quorum_for(row, column, out);
 }
 
 }  // namespace qp::quorum

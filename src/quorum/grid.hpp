@@ -26,10 +26,13 @@ class GridQuorum final : public QuorumSystem {
   [[nodiscard]] double optimal_load() const noexcept override;
   [[nodiscard]] std::vector<Quorum> sample_quorums(std::size_t count,
                                                    common::Rng& rng) const override;
+  void sample_quorum(common::Rng& rng, Quorum& out) const override;
 
   /// The quorum for a (row, column) choice; exposed for tests and the
   /// placement code, which reasons about grid coordinates directly.
   [[nodiscard]] Quorum quorum_for(std::size_t row, std::size_t column) const;
+  /// Allocation-free variant reusing `out`'s storage (sample_quorum's path).
+  void quorum_for(std::size_t row, std::size_t column, Quorum& out) const;
 
  private:
   /// max_{u in row r u column c} values[u] for all (r, c), as a k x k table.

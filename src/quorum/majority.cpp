@@ -83,6 +83,20 @@ std::vector<Quorum> MajorityQuorum::sample_quorums(std::size_t count,
   return result;
 }
 
+void MajorityQuorum::sample_quorum(common::Rng& rng, Quorum& out) const {
+  // Partial Fisher–Yates in out's own storage — the same index draws as
+  // Rng::sample_without_replacement (equality-tested), without its
+  // per-call allocation.
+  out.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = i;
+  for (std::size_t i = 0; i < q_; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(n_ - i));
+    std::swap(out[i], out[j]);
+  }
+  out.resize(q_);
+  std::sort(out.begin(), out.end());
+}
+
 double MajorityQuorum::uniform_touch_probability(
     std::span<const std::size_t> elements) const {
   for (std::size_t u : elements) {

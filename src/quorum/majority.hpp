@@ -33,6 +33,7 @@ class MajorityQuorum final : public QuorumSystem {
   [[nodiscard]] double optimal_load() const noexcept override;
   [[nodiscard]] std::vector<Quorum> sample_quorums(std::size_t count,
                                                    common::Rng& rng) const override;
+  void sample_quorum(common::Rng& rng, Quorum& out) const override;
   /// Hypergeometric closed form: 1 - C(n-|S|, q) / C(n, q).
   [[nodiscard]] double uniform_touch_probability(
       std::span<const std::size_t> elements) const override;

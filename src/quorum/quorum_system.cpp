@@ -31,6 +31,10 @@ std::span<const double> QuorumSystem::uniform_load_cached() const {
   return cache.emplace(std::move(key), std::move(load)).first->second;
 }
 
+void QuorumSystem::sample_quorum(common::Rng& rng, Quorum& out) const {
+  out = sample_quorums(1, rng)[0];
+}
+
 bool QuorumSystem::verify_intersection(std::size_t limit) const {
   const std::vector<Quorum> quorums = enumerate_quorums(limit);
   for (std::size_t a = 0; a < quorums.size(); ++a) {

@@ -97,6 +97,13 @@ class QuorumSystem {
   [[nodiscard]] virtual std::vector<Quorum> sample_quorums(std::size_t count,
                                                            common::Rng& rng) const = 0;
 
+  /// Draws one uniform quorum into `out` — the allocation-light single-draw
+  /// primitive the discrete-event engine (sim/engine) calls once per
+  /// balanced-strategy request. Must match sample_quorums(1, rng)[0] for the
+  /// same rng state; the default forwards to it, Majority and Grid override
+  /// to reuse `out`'s storage.
+  virtual void sample_quorum(common::Rng& rng, Quorum& out) const;
+
   /// P( Q intersects `elements` ) for Q drawn uniformly over all quorums.
   /// Used by the collapsed-execution load model (§8 future work), where a
   /// site hosting several universe elements executes a touching request only

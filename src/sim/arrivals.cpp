@@ -1,0 +1,54 @@
+#include "sim/arrivals.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace qp::sim {
+
+ArrivalGenerator::ArrivalGenerator(ArrivalModel model, double rate_per_ms,
+                                   const MmppConfig& mmpp, common::Rng& rng)
+    : model_(model) {
+  if (!(rate_per_ms > 0.0)) {
+    throw std::invalid_argument{"ArrivalGenerator: rate must be positive"};
+  }
+  if (model_ == ArrivalModel::Poisson) {
+    on_rate_ = rate_per_ms;
+    phase_end_ = std::numeric_limits<double>::infinity();
+    return;
+  }
+  if (!(mmpp.burst >= 1.0) || !(mmpp.mean_on_ms > 0.0) || !(mmpp.mean_off_ms > 0.0)) {
+    throw std::invalid_argument{"ArrivalGenerator: bad MMPP configuration"};
+  }
+  const double on_fraction = mmpp.mean_on_ms / (mmpp.mean_on_ms + mmpp.mean_off_ms);
+  const double off_scale = (1.0 - on_fraction * mmpp.burst) / (1.0 - on_fraction);
+  if (!(off_scale > 0.0)) {
+    throw std::invalid_argument{
+        "ArrivalGenerator: MMPP burst too large for the ON fraction "
+        "(burst * mean_on must stay below mean_on + mean_off)"};
+  }
+  on_rate_ = rate_per_ms * mmpp.burst;
+  off_rate_ = rate_per_ms * off_scale;
+  mean_on_ms_ = mmpp.mean_on_ms;
+  mean_off_ms_ = mmpp.mean_off_ms;
+  // Stationary start: ON with probability f, phase remainder memoryless.
+  on_ = rng.uniform() < on_fraction;
+  phase_end_ = rng.exponential(on_ ? mean_on_ms_ : mean_off_ms_);
+}
+
+double ArrivalGenerator::next(double now, common::Rng& rng) {
+  if (model_ == ArrivalModel::Poisson) {
+    return now + rng.exponential(1.0 / on_rate_);
+  }
+  while (true) {
+    const double rate = on_ ? on_rate_ : off_rate_;
+    const double candidate = now + rng.exponential(1.0 / rate);
+    if (candidate <= phase_end_) return candidate;
+    // No arrival before the phase flips: restart the draw from the boundary
+    // (memorylessness makes the discarded partial draw exact, not approximate).
+    now = phase_end_;
+    on_ = !on_;
+    phase_end_ = now + rng.exponential(on_ ? mean_on_ms_ : mean_off_ms_);
+  }
+}
+
+}  // namespace qp::sim

@@ -1,0 +1,312 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/strategy_sampler.hpp"
+
+namespace qp::sim {
+
+namespace {
+
+/// One replication: owns the event queue, rng stream, stations, and request
+/// table. Replications never share mutable state, so the fan-out is safe
+/// and the serial-order reduction makes it bit-identical to a serial run.
+class Replication {
+ public:
+  Replication(const net::LatencyMatrix& matrix, const core::Placement& placement,
+              std::span<const double> rates, const EngineConfig& config,
+              const QuorumSampler& sampler, std::uint64_t seed)
+      : matrix_(matrix),
+        placement_(placement),
+        config_(config),
+        sampler_(sampler),
+        rng_(seed),
+        end_of_issue_(config.warmup_ms + config.duration_ms),
+        stations_(matrix.size(),
+                  ServiceStation{config.warmup_ms, config.warmup_ms + config.duration_ms,
+                                 config.queue_capacity}),
+        outages_(config.outages, matrix.size()) {
+    for (std::size_t v = 0; v < rates.size(); ++v) {
+      if (rates[v] <= 0.0) continue;
+      clients_.push_back(v);
+      generators_.emplace_back(config.arrival_model, rates[v], config.mmpp, rng_);
+    }
+  }
+
+  ReplicationResult run() {
+    for (std::size_t slot = 0; slot < clients_.size(); ++slot) {
+      const double first = generators_[slot].next(0.0, rng_);
+      if (first < end_of_issue_) {
+        queue_.schedule(first, [this, slot] { arrival(slot); });
+      }
+    }
+    queue_.run_all();
+
+    ReplicationResult result;
+    result.response = response_;
+    result.network = network_;
+    if (!samples_.empty()) {
+      std::vector<double> sorted = samples_;
+      std::sort(sorted.begin(), sorted.end());
+      result.p50_ms = common::percentile_sorted(sorted, 50.0);
+      result.p95_ms = common::percentile_sorted(sorted, 95.0);
+      result.p99_ms = common::percentile_sorted(sorted, 99.0);
+    }
+    result.site_utilization.reserve(stations_.size());
+    for (const ServiceStation& station : stations_) {
+      result.site_utilization.push_back(station.busy_in_window() / config_.duration_ms);
+    }
+    result.issued = issued_;
+    result.completed = completed_;
+    result.failed = failed_;
+    result.dropped_messages = dropped_;
+    result.rejected_arrivals = rejected_;
+    result.response_samples = std::move(samples_);
+    return result;
+  }
+
+ private:
+  struct Request {
+    double start = 0.0;
+    std::size_t pending = 0;
+    bool failed = false;
+    bool windowed = false;
+  };
+
+  [[nodiscard]] double draw_service() {
+    return config_.service_model == ServiceModel::Deterministic
+               ? config_.service_time_ms
+               : rng_.exponential(config_.service_time_ms);
+  }
+
+  /// An arrival event for client slot: issue one request, then schedule the
+  /// client's next arrival.
+  void arrival(std::size_t slot) {
+    const double now = queue_.now();
+    issue(clients_[slot], now);
+    const double next = generators_[slot].next(now, rng_);
+    if (next < end_of_issue_) {
+      queue_.schedule(next, [this, slot] { arrival(slot); });
+    }
+  }
+
+  void issue(std::size_t client, double now) {
+    const quorum::Quorum& chosen = sampler_.draw(client, rng_, scratch_);
+    const std::uint64_t id = next_request_++;
+    Request request;
+    request.start = now;
+    request.pending = chosen.size();
+    request.windowed = now >= config_.warmup_ms && now < end_of_issue_;
+    double max_rtt = 0.0;
+    for (std::size_t u : chosen) {
+      max_rtt = std::max(max_rtt, matrix_.rtt(client, placement_.site_of[u]));
+    }
+    if (request.windowed) {
+      ++issued_;
+      network_.add(max_rtt);
+    }
+    requests_.emplace(id, request);
+    for (std::size_t u : chosen) {
+      const std::size_t site = placement_.site_of[u];
+      const double half = matrix_.rtt(client, site) / 2.0;
+      queue_.schedule(now + half, [this, id, site, half] { message(id, site, half); });
+    }
+  }
+
+  void message(std::uint64_t id, std::size_t site, double half_rtt) {
+    const double now = queue_.now();
+    if (outages_.down_at(site, now)) {
+      ++dropped_;
+      resolve(id, /*message_lost=*/true);
+      return;
+    }
+    if (stations_[site].full(now)) {
+      ++rejected_;
+      resolve(id, /*message_lost=*/true);
+      return;
+    }
+    const double depart = stations_[site].accept(now, draw_service());
+    queue_.schedule(depart + half_rtt, [this, id] { resolve(id, /*message_lost=*/false); });
+  }
+
+  /// One of the request's messages finished (reply arrived) or died (outage
+  /// drop / queue overflow). The request completes only if every message
+  /// came back.
+  void resolve(std::uint64_t id, bool message_lost) {
+    const auto it = requests_.find(id);
+    Request& request = it->second;
+    if (message_lost) request.failed = true;
+    if (--request.pending > 0) return;
+    if (request.windowed) {
+      if (request.failed) {
+        ++failed_;
+      } else {
+        ++completed_;
+        const double response = queue_.now() - request.start;
+        response_.add(response);
+        samples_.push_back(response);
+      }
+    }
+    requests_.erase(it);
+  }
+
+  const net::LatencyMatrix& matrix_;
+  const core::Placement& placement_;
+  const EngineConfig& config_;
+  const QuorumSampler& sampler_;
+  common::Rng rng_;
+  double end_of_issue_;
+
+  EventQueue queue_;
+  std::vector<ServiceStation> stations_;
+  OutageSchedule outages_;
+  std::vector<std::size_t> clients_;            // Sites with a positive rate.
+  std::vector<ArrivalGenerator> generators_;    // Parallel to clients_.
+  std::unordered_map<std::uint64_t, Request> requests_;
+  std::uint64_t next_request_ = 0;
+  quorum::Quorum scratch_;
+
+  common::RunningStats response_;
+  common::RunningStats network_;
+  std::vector<double> samples_;
+  std::size_t issued_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+QuorumSampler make_sampler(const net::LatencyMatrix& matrix,
+                           const quorum::QuorumSystem& system,
+                           const core::Placement& placement, const EngineConfig& config) {
+  switch (config.strategy) {
+    case EngineStrategy::Closest:
+      return QuorumSampler::closest(matrix, system, placement);
+    case EngineStrategy::Balanced:
+      return QuorumSampler::balanced(system);
+    case EngineStrategy::Explicit:
+      if (config.explicit_strategy == nullptr) {
+        throw std::invalid_argument{
+            "run_engine: EngineStrategy::Explicit needs an explicit_strategy"};
+      }
+      return QuorumSampler::explicit_strategy(*config.explicit_strategy, matrix.size(),
+                                              system);
+  }
+  throw std::logic_error{"run_engine: unknown strategy"};
+}
+
+}  // namespace
+
+std::uint64_t replication_seed(std::uint64_t master_seed,
+                               std::size_t replication) noexcept {
+  std::uint64_t state = master_seed;
+  std::uint64_t seed = common::splitmix64(state);
+  for (std::size_t i = 0; i < replication; ++i) seed = common::splitmix64(state);
+  return seed;
+}
+
+EngineResult run_engine(const net::LatencyMatrix& matrix,
+                        const quorum::QuorumSystem& system,
+                        const core::Placement& placement,
+                        std::span<const double> arrival_rates_per_ms,
+                        const EngineConfig& config) {
+  placement.validate(matrix.size());
+  if (arrival_rates_per_ms.size() != matrix.size()) {
+    throw std::invalid_argument{"run_engine: one arrival rate per site required"};
+  }
+  double total_rate = 0.0;
+  for (double rate : arrival_rates_per_ms) {
+    if (!(rate >= 0.0) || !std::isfinite(rate)) {
+      throw std::invalid_argument{"run_engine: arrival rates must be finite and >= 0"};
+    }
+    total_rate += rate;
+  }
+  if (total_rate <= 0.0) {
+    throw std::invalid_argument{"run_engine: no client has a positive arrival rate"};
+  }
+  if (!(config.service_time_ms > 0.0) || !(config.duration_ms > 0.0) ||
+      !(config.warmup_ms >= 0.0)) {
+    throw std::invalid_argument{"run_engine: bad timing configuration"};
+  }
+  if (config.replications == 0) {
+    throw std::invalid_argument{"run_engine: replications must be >= 1"};
+  }
+
+  const QuorumSampler sampler = make_sampler(matrix, system, placement, config);
+  // Validate the outage schedule once up front (each replication rebuilds
+  // its own copy; a bad site index should throw before the fan-out).
+  (void)OutageSchedule{config.outages, matrix.size()};
+
+  std::vector<ReplicationResult> replications(config.replications);
+  common::ThreadPool& pool =
+      config.pool != nullptr ? *config.pool : common::global_thread_pool();
+  pool.parallel_for(0, config.replications, [&](std::size_t r) {
+    Replication replication{matrix,  placement,
+                            arrival_rates_per_ms, config,
+                            sampler, replication_seed(config.master_seed, r)};
+    replications[r] = replication.run();
+  });
+
+  EngineResult result;
+  result.site_utilization.assign(matrix.size(), 0.0);
+  common::RunningStats network;
+  std::vector<double> pooled;
+  for (const ReplicationResult& rep : replications) {
+    result.response.merge(rep.response);
+    network.merge(rep.network);
+    for (std::size_t w = 0; w < matrix.size(); ++w) {
+      result.site_utilization[w] += rep.site_utilization[w];
+    }
+    result.issued += rep.issued;
+    result.completed += rep.completed;
+    result.failed += rep.failed;
+    result.dropped_messages += rep.dropped_messages;
+    result.rejected_arrivals += rep.rejected_arrivals;
+    pooled.insert(pooled.end(), rep.response_samples.begin(),
+                  rep.response_samples.end());
+  }
+  const double inv_reps = 1.0 / static_cast<double>(config.replications);
+  for (double& utilization : result.site_utilization) utilization *= inv_reps;
+  result.peak_utilization =
+      *std::max_element(result.site_utilization.begin(), result.site_utilization.end());
+  result.mean_response_ms = result.response.mean();
+  result.mean_network_delay_ms = network.mean();
+  if (!pooled.empty()) {
+    std::sort(pooled.begin(), pooled.end());
+    result.p50_ms = common::percentile_sorted(pooled, 50.0);
+    result.p95_ms = common::percentile_sorted(pooled, 95.0);
+    result.p99_ms = common::percentile_sorted(pooled, 99.0);
+  }
+  result.replications = std::move(replications);
+  return result;
+}
+
+std::vector<double> scale_rates_to_peak_utilization(std::span<const double> rates,
+                                                    std::span<const double> site_load,
+                                                    double service_time_ms,
+                                                    double peak_rho) {
+  if (!(service_time_ms > 0.0) || !(peak_rho > 0.0)) {
+    throw std::invalid_argument{
+        "scale_rates_to_peak_utilization: service time and rho must be positive"};
+  }
+  double total = 0.0;
+  for (double rate : rates) total += rate;
+  const double max_load =
+      site_load.empty() ? 0.0 : *std::max_element(site_load.begin(), site_load.end());
+  if (!(total > 0.0) || !(max_load > 0.0)) {
+    throw std::invalid_argument{
+        "scale_rates_to_peak_utilization: rates and site loads must carry mass"};
+  }
+  const double factor = peak_rho / (service_time_ms * total * max_load);
+  std::vector<double> scaled(rates.begin(), rates.end());
+  for (double& rate : scaled) rate *= factor;
+  return scaled;
+}
+
+}  // namespace qp::sim

@@ -1,0 +1,138 @@
+// Open-loop discrete-event queueing engine — the simulation counterpart of
+// the analytic §4/§6/§7 response-time objectives.
+//
+// Model: one open-loop client per site issues quorum operations as a
+// Poisson (or bursty MMPP) stream at its configured rate; each operation
+// picks a quorum by the configured access strategy (closest / balanced /
+// explicit LP distributions), sends one message per quorum element, and
+// completes when the last reply returns. A message reaches server site
+// f(u) after rtt/2, waits in the site's FIFO queue (optionally finite:
+// overflow is dropped), is served for a deterministic or exponential
+// service time by the single server core, and the reply takes another
+// rtt/2. Scheduled ServerOutages drop messages arriving in their window.
+//
+// Where the analytic layer evaluates max_u(d(v, f(u)) + alpha * load) in
+// closed form, the engine realizes the same system as a stochastic process,
+// so predictions can be cross-validated under contention, demand skew,
+// bursty arrivals, and outages (eval::sim_validation_sweep). At utilization
+// rho -> 0 the simulated mean response converges to network delay +
+// service; the analytic load term alpha * load_f(w) equals rho_w * S when
+// alpha = S^2 * total arrival rate, the linear low-utilization queueing
+// surrogate the validation sweep pins to 3%.
+//
+// Replications fan out deterministically over common/thread_pool: each
+// replication derives its own rng stream from the master seed via a
+// SplitMix64 chain (stream r = the r-th SplitMix64 output), results land in
+// replication-indexed slots, and the reduction replays serial order — so
+// results are bit-identical for any QP_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/placement.hpp"
+#include "core/strategy.hpp"
+#include "net/latency_matrix.hpp"
+#include "quorum/quorum_system.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/service_queue.hpp"
+
+namespace qp::sim {
+
+enum class ServiceModel { Deterministic, Exponential };
+
+enum class EngineStrategy { Closest, Balanced, Explicit };
+
+struct EngineConfig {
+  double service_time_ms = 1.0;
+  ServiceModel service_model = ServiceModel::Deterministic;
+  /// Per-site queue limit (messages queued or in service); 0 = unbounded.
+  /// Arrivals beyond the limit are rejected and counted.
+  std::size_t queue_capacity = 0;
+
+  ArrivalModel arrival_model = ArrivalModel::Poisson;
+  MmppConfig mmpp{};
+
+  EngineStrategy strategy = EngineStrategy::Balanced;
+  /// Required for EngineStrategy::Explicit (e.g. an optimize_access_strategy
+  /// result, or Objective::export_strategy); must outlive run_engine.
+  const core::ExplicitStrategy* explicit_strategy = nullptr;
+
+  /// Requests issued in [warmup_ms, warmup_ms + duration_ms) are measured;
+  /// the simulation then drains completely.
+  double warmup_ms = 2'000.0;
+  double duration_ms = 20'000.0;
+
+  std::uint64_t master_seed = 1;
+  std::size_t replications = 3;
+
+  std::vector<ServerOutage> outages;
+
+  /// Pool for the replication fan-out; nullptr = the shared global pool.
+  common::ThreadPool* pool = nullptr;
+};
+
+/// Per-replication measurements; everything below is warm-up trimmed.
+struct ReplicationResult {
+  common::RunningStats response;  // Issue-to-last-reply, completed requests.
+  common::RunningStats network;   // Max quorum RTT at issue time (unloaded response).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Busy fraction of the measurement window per site.
+  std::vector<double> site_utilization;
+  std::size_t issued = 0;     // Requests issued inside the window.
+  std::size_t completed = 0;  // ... of which all replies arrived.
+  std::size_t failed = 0;     // ... of which lost a message to an outage/overflow.
+  std::size_t dropped_messages = 0;    // All outage drops, windowed or not.
+  std::size_t rejected_arrivals = 0;   // All finite-queue overflows.
+  /// Response samples (completed, windowed), in completion order — kept for
+  /// pooled percentiles and distribution checks.
+  std::vector<double> response_samples;
+};
+
+struct EngineResult {
+  double mean_response_ms = 0.0;
+  double mean_network_delay_ms = 0.0;
+  double p50_ms = 0.0;  // Pooled across replications.
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  common::RunningStats response;           // Merged across replications.
+  std::vector<double> site_utilization;    // Mean across replications.
+  double peak_utilization = 0.0;           // Busiest site's mean utilization.
+  std::size_t issued = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t dropped_messages = 0;
+  std::size_t rejected_arrivals = 0;
+  std::vector<ReplicationResult> replications;
+};
+
+/// Runs the engine: client v issues at arrival_rates_per_ms[v] (one entry
+/// per site; 0 = no client there). Deterministic in config.master_seed for
+/// any thread count.
+[[nodiscard]] EngineResult run_engine(const net::LatencyMatrix& matrix,
+                                      const quorum::QuorumSystem& system,
+                                      const core::Placement& placement,
+                                      std::span<const double> arrival_rates_per_ms,
+                                      const EngineConfig& config);
+
+/// Scales per-client arrival rates so the busiest site reaches utilization
+/// `peak_rho`. `site_load` is the per-access probability that a demand-
+/// share-weighted request executes on each site (Objective::site_loads /
+/// site_loads_closest / site_loads_balanced / site_loads_explicit with the
+/// same demand shape as `rates`), so site w's arrival rate is
+/// sum(rates) * site_load[w] and rho_w = that * service_time.
+[[nodiscard]] std::vector<double> scale_rates_to_peak_utilization(
+    std::span<const double> rates, std::span<const double> site_load,
+    double service_time_ms, double peak_rho);
+
+/// The replication-r rng seed of the engine's SplitMix64 chain seeded by
+/// `master_seed` — exposed so tests can reproduce a single replication.
+[[nodiscard]] std::uint64_t replication_seed(std::uint64_t master_seed,
+                                             std::size_t replication) noexcept;
+
+}  // namespace qp::sim

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "core/strategy.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/service_queue.hpp"
 
 namespace qp::sim {
 
@@ -32,10 +33,7 @@ class Simulator {
         system_(system),
         placement_(placement),
         config_(config),
-        rng_(config.seed),
-        next_free_(matrix.size(), 0.0),
-        busy_in_window_(matrix.size(), 0.0),
-        outages_by_site_(matrix.size()) {
+        rng_(config.seed) {
     placement_.validate(matrix_.size());
     if (client_sites.empty()) throw std::invalid_argument{"protocol_sim: no client sites"};
     if (config_.clients_per_site == 0) {
@@ -52,16 +50,12 @@ class Simulator {
     if (config_.max_attempts == 0) {
       throw std::invalid_argument{"protocol_sim: max_attempts must be >= 1"};
     }
-    for (const ServerOutage& outage : config_.outages) {
-      if (outage.site >= matrix_.size()) {
-        throw std::out_of_range{"protocol_sim: outage site out of range"};
-      }
-      if (!(outage.start_ms < outage.end_ms)) {
-        throw std::invalid_argument{"protocol_sim: outage window must be non-empty"};
-      }
-      outages_by_site_[outage.site].emplace_back(outage.start_ms, outage.end_ms);
-    }
+    outages_ = OutageSchedule{config_.outages, matrix_.size()};
     end_of_issue_ = config_.warmup_ms + config_.duration_ms;
+    // Unbounded FIFO stations (capacity 0): identical arithmetic to the
+    // historical scalar next-free bookkeeping, now shared with sim/engine.
+    stations_.assign(matrix_.size(),
+                     ServiceStation{config_.warmup_ms, end_of_issue_, 0});
     for (std::size_t site : client_sites) {
       if (site >= matrix_.size()) throw std::out_of_range{"protocol_sim: client site"};
       for (std::size_t c = 0; c < config_.clients_per_site; ++c) {
@@ -99,20 +93,13 @@ class Simulator {
     result.dropped_messages = dropped_messages_;
     const std::vector<std::size_t> support = placement_.support_set();
     double busy_total = 0.0;
-    for (std::size_t site : support) busy_total += busy_in_window_[site];
+    for (std::size_t site : support) busy_total += stations_[site].busy_in_window();
     result.avg_server_busy_fraction =
         busy_total / (config_.duration_ms * static_cast<double>(support.size()));
     return result;
   }
 
  private:
-  [[nodiscard]] bool site_down_at(std::size_t site, double time) const {
-    for (const auto& [start, end] : outages_by_site_[site]) {
-      if (time >= start && time < end) return true;
-    }
-    return false;
-  }
-
   /// Begins a brand-new request for client c (closed loop).
   void issue(std::size_t c) {
     Client& client = clients_[c];
@@ -155,20 +142,12 @@ class Simulator {
 
   void arrive(std::size_t c, std::uint64_t attempt, std::size_t server_site, double rtt) {
     const double now = queue_.now();
-    if (site_down_at(server_site, now)) {
+    if (outages_.down_at(server_site, now)) {
       ++dropped_messages_;
       return;  // Crashed server: the message is lost; the client will time out.
     }
-    const double start_service = std::max(next_free_[server_site], now);
-    const double depart =
-        start_service + config_.service_time_ms + config_.per_message_cpu_ms;
-    next_free_[server_site] = depart;
-    // Busy-time accounting clipped to the measurement window.
-    const double window_start = config_.warmup_ms;
-    const double window_end = end_of_issue_;
-    const double overlap =
-        std::max(0.0, std::min(depart, window_end) - std::max(start_service, window_start));
-    busy_in_window_[server_site] += overlap;
+    const double depart = stations_[server_site].accept(
+        now, config_.service_time_ms + config_.per_message_cpu_ms);
     queue_.schedule(depart + rtt / 2.0, [this, c, attempt] { reply(c, attempt); });
   }
 
@@ -209,9 +188,8 @@ class Simulator {
 
   EventQueue queue_;
   std::vector<Client> clients_;
-  std::vector<double> next_free_;
-  std::vector<double> busy_in_window_;
-  std::vector<std::vector<std::pair<double, double>>> outages_by_site_;
+  std::vector<ServiceStation> stations_;
+  OutageSchedule outages_;
   common::RunningStats response_stats_;
   common::RunningStats network_stats_;
   double end_of_issue_ = 0.0;

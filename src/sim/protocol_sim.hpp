@@ -21,16 +21,9 @@
 #include "core/placement.hpp"
 #include "net/latency_matrix.hpp"
 #include "quorum/quorum_system.hpp"
+#include "sim/service_queue.hpp"  // ServerOutage (shared with sim/engine).
 
 namespace qp::sim {
-
-/// A server outage: messages arriving at `site` in [start_ms, end_ms) are
-/// silently dropped (crash during the window, no replies).
-struct ServerOutage {
-  std::size_t site = 0;
-  double start_ms = 0.0;
-  double end_ms = 0.0;
-};
 
 struct ProtocolSimConfig {
   double service_time_ms = 1.0;   // §3: "processing delay per request ... 1 ms".

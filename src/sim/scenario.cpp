@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "core/response.hpp"
+#include "sim/engine.hpp"
 
 namespace qp::sim {
 
@@ -98,6 +99,12 @@ core::LoadAwareObjective Scenario::load_objective() const {
 
 core::ClosestStrategyObjective Scenario::closest_objective() const {
   return core::ClosestStrategyObjective::for_demand(std::span<const double>{client_demand});
+}
+
+std::vector<double> Scenario::arrival_rates_for(double peak_rho, double service_time_ms,
+                                                std::span<const double> site_load) const {
+  return scale_rates_to_peak_utilization(client_demand, site_load, service_time_ms,
+                                         peak_rho);
 }
 
 Scenario make_scenario(const ScenarioConfig& config) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,16 @@ struct Scenario {
   /// closest-strategy one.
   [[nodiscard]] core::LoadAwareObjective load_objective() const;
   [[nodiscard]] core::ClosestStrategyObjective closest_objective() const;
+
+  /// Open-loop per-client arrival rates (requests/ms) for the queueing
+  /// engine (sim/engine): the demand vector's shape, scaled so the busiest
+  /// site reaches utilization `peak_rho`. `site_load` is the per-access
+  /// demand-share-weighted site load of the strategy being simulated
+  /// (e.g. the scenario objective's site_loads for a placement), which
+  /// turns raw demand — far beyond what one server core serves — into a
+  /// simulable workload at a controlled operating point.
+  [[nodiscard]] std::vector<double> arrival_rates_for(
+      double peak_rho, double service_time_ms, std::span<const double> site_load) const;
 };
 
 /// Generates the scenario for `config`. Throws on zero sites, a shape <= 1,

@@ -1,0 +1,51 @@
+#include "sim/service_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qp::sim {
+
+OutageSchedule::OutageSchedule(std::span<const ServerOutage> outages,
+                               std::size_t site_count) {
+  if (outages.empty()) return;
+  by_site_.resize(site_count);
+  for (const ServerOutage& outage : outages) {
+    if (outage.site >= site_count) {
+      throw std::out_of_range{"OutageSchedule: outage site out of range"};
+    }
+    if (!(outage.start_ms < outage.end_ms)) {
+      throw std::invalid_argument{"OutageSchedule: outage window must be non-empty"};
+    }
+    by_site_[outage.site].emplace_back(outage.start_ms, outage.end_ms);
+  }
+}
+
+bool OutageSchedule::down_at(std::size_t site, double time) const noexcept {
+  if (by_site_.empty()) return false;
+  for (const auto& [start, end] : by_site_[site]) {
+    if (time >= start && time < end) return true;
+  }
+  return false;
+}
+
+ServiceStation::ServiceStation(double window_start, double window_end,
+                               std::size_t capacity)
+    : window_start_(window_start), window_end_(window_end), capacity_(capacity) {}
+
+std::size_t ServiceStation::in_system(double time) noexcept {
+  while (!departures_.empty() && departures_.front() <= time) departures_.pop_front();
+  return departures_.size();
+}
+
+double ServiceStation::accept(double now, double service_time) {
+  const double start_service = std::max(next_free_, now);
+  const double depart = start_service + service_time;
+  next_free_ = depart;
+  const double overlap = std::max(
+      0.0, std::min(depart, window_end_) - std::max(start_service, window_start_));
+  busy_ += overlap;
+  if (capacity_ != 0) departures_.push_back(depart);
+  return depart;
+}
+
+}  // namespace qp::sim

@@ -1,0 +1,91 @@
+// Shared discrete-event server components: a single-core FIFO service
+// station with optional finite capacity and measurement-window busy-time
+// accounting, plus a per-site outage schedule. Both the open-loop queueing
+// engine (sim/engine) and the closed-loop protocol simulator
+// (sim/protocol_sim) are thin layers over these.
+//
+// A FIFO single server whose service times are known on admission can
+// compute every departure synchronously — depart = max(next_free, now) +
+// service — so stations need no events of their own: the caller schedules
+// the reply at the returned departure time. Queue length (for finite
+// capacity) falls out of the same representation: the messages in the
+// system at time t are exactly the admitted messages whose departure lies
+// beyond t.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace qp::sim {
+
+/// A server outage: messages arriving at `site` in [start_ms, end_ms) are
+/// silently dropped (crash during the window, no replies).
+struct ServerOutage {
+  std::size_t site = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+/// Per-site outage windows, validated once at construction. Queued work
+/// survives an outage (the crash model drops arriving messages only), so
+/// a site drains its backlog during its window and resumes afterwards.
+class OutageSchedule {
+ public:
+  OutageSchedule() = default;
+  /// Throws std::out_of_range on an outage site >= site_count and
+  /// std::invalid_argument on an empty window.
+  OutageSchedule(std::span<const ServerOutage> outages, std::size_t site_count);
+
+  [[nodiscard]] bool empty() const noexcept { return by_site_.empty(); }
+  [[nodiscard]] bool down_at(std::size_t site, double time) const noexcept;
+
+ private:
+  std::vector<std::vector<std::pair<double, double>>> by_site_;
+};
+
+/// Work-conserving FIFO single server. Service requirements are supplied by
+/// the caller on admission (deterministic, exponential, whatever), so the
+/// departure time is returned synchronously. Busy time overlapping the
+/// measurement window [window_start, window_end) is accumulated for
+/// utilization reporting. capacity == 0 means an unbounded queue and keeps
+/// the station a single scalar (no per-message bookkeeping).
+class ServiceStation {
+ public:
+  ServiceStation() = default;
+  ServiceStation(double window_start, double window_end, std::size_t capacity = 0);
+
+  /// Messages queued or in service at `time` (capacity-tracked stations
+  /// only; unbounded stations always report 0). Drops departed entries, so
+  /// `time` must not decrease across calls — event-queue order guarantees
+  /// that.
+  [[nodiscard]] std::size_t in_system(double time) noexcept;
+
+  /// True when a message arriving at `time` would exceed the capacity.
+  [[nodiscard]] bool full(double time) noexcept {
+    return capacity_ != 0 && in_system(time) >= capacity_;
+  }
+
+  /// Admits a message at `now` with the given service requirement and
+  /// returns its departure time. The caller checks full() first; accept
+  /// never rejects.
+  double accept(double now, double service_time);
+
+  [[nodiscard]] double next_free() const noexcept { return next_free_; }
+  /// Service time accumulated inside the measurement window, ms.
+  [[nodiscard]] double busy_in_window() const noexcept { return busy_; }
+
+ private:
+  double window_start_ = 0.0;
+  double window_end_ = 0.0;
+  double next_free_ = 0.0;
+  double busy_ = 0.0;
+  std::size_t capacity_ = 0;
+  /// Departure times of admitted messages still in the system, ascending
+  /// (FIFO). Only maintained when capacity_ > 0.
+  std::deque<double> departures_;
+};
+
+}  // namespace qp::sim

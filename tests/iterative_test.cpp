@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "core/capacity.hpp"
@@ -107,6 +108,35 @@ TEST(Iterative, HistoryRecordsPhases) {
     EXPECT_GT(result.history[j].response_after_placement, 0.0);
   }
   EXPECT_TRUE(result.history.front().accepted);
+}
+
+TEST(Iterative, DemandWeightedPhaseLpsStayConsistent) {
+  // Skewed demand flows through both phases: the reported response must
+  // match re-evaluating the returned artifacts under the same demand, and
+  // the phase-2 LP strategies must respect the demand-weighted load caps
+  // pinned to the phase-1 loads (phase 2 can only re-route delay).
+  const LatencyMatrix m = net::small_synth(10, 29);
+  const quorum::GridQuorum grid{2};
+  const auto caps = uniform_capacities(m.size(), 0.9);
+  std::vector<double> demand(m.size(), 1.0);
+  demand[0] = 6.0;
+  demand[3] = 3.0;
+  const LoadAwareObjective objective =
+      LoadAwareObjective::for_demand(std::span<const double>{demand});
+  const IterativeResult result =
+      iterative_placement(m, grid, caps, objective, fast_options(m));
+  result.placement.validate(m.size());
+  result.strategy.validate(m.size(), grid.universe_size());
+  ASSERT_FALSE(result.history.empty());
+  const Evaluation check = evaluate_explicit(m, grid, result.placement, objective.alpha(),
+                                             result.strategy, demand);
+  EXPECT_NEAR(check.avg_response_ms, result.avg_response, 1e-9);
+  for (const IterationRecord& record : result.history) {
+    if (record.accepted) {
+      EXPECT_LE(record.response_after_strategy,
+                record.response_after_placement + 1e-9);
+    }
+  }
 }
 
 }  // namespace

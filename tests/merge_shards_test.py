@@ -63,6 +63,21 @@ def main(argv):
         # Same name, different header: first copy must win.
         (shard_a / "other.csv").write_text("a,b\n1,2\n")
         (shard_b / "other.csv").write_text("a,b,c\n1,2,3\n")
+        # The sim-validation figure (bench_sim_engine): point-sharded rows
+        # with the full 15-column header must union like any other figure.
+        sim_header = ("scenario,system,strategy,arrivals,target_rho,analytic_ms,"
+                      "simulated_ms,divergence_pct,p50_ms,p95_ms,p99_ms,"
+                      "peak_utilization,completed,dropped_messages,outage")
+        sim_row_a = "planetlab-50,Grid(7x7),closest,poisson,0.3,115.8,118.1,1.97,94.7,203.2,248.8,0.30,328,0,0"
+        sim_row_b = "planetlab-50,Grid(7x7),balanced,poisson,0.3,196.3,198.9,1.36,197.1,294.0,318.5,0.32,1110,0,0"
+        (shard_a / "BENCH_bench_sim_engine.json").write_text(
+            json.dumps(bench_json("aaaa11112222",
+                                  ["SimValidation/planetlab-50/Grid(7x7)/closest/poisson/rho=0.30"])))
+        (shard_b / "BENCH_bench_sim_engine.json").write_text(
+            json.dumps(bench_json("aaaa11112222",
+                                  ["SimValidation/planetlab-50/Grid(7x7)/balanced/poisson/rho=0.30"])))
+        (shard_a / "bench_sim_engine.csv").write_text(f"{sim_header}\n{sim_row_a}\n")
+        (shard_b / "bench_sim_engine.csv").write_text(f"{sim_header}\n{sim_row_b}\n")
 
         result = subprocess.run(
             [sys.executable, str(merge_script), str(merged), str(shard_a), str(shard_b)],
@@ -92,6 +107,14 @@ def main(argv):
         check((merged / "other.csv").read_text() == "a,b\n1,2\n",
               "differing-header CSV keeps the first copy")
         check("header differs" in result.stderr, "differing-header CSV warns")
+
+        sim_csv = (merged / "bench_sim_engine.csv").read_text().splitlines()
+        check(sim_csv == [sim_header, sim_row_a, sim_row_b],
+              f"sim-validation CSV rows unioned (got {sim_csv})")
+        with (merged / "BENCH_bench_sim_engine.json").open() as fh:
+            sim_names = [b["name"] for b in json.load(fh)["benchmarks"]]
+        check(len(sim_names) == 2 and all("SimValidation/" in n for n in sim_names),
+              f"sim-validation benchmark rows unioned (got {sim_names})")
 
         # Malformed JSON must fail the merge.
         bad = root / "bad_shard"

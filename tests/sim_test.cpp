@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "core/placement.hpp"
@@ -37,6 +38,46 @@ TEST(EventQueue, FifoAtEqualTimes) {
   }
   queue.run_all();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EqualTimestampPopOrderIsInsertionOrderPinned) {
+  // Pin the FIFO tie-break under heap churn: equal-timestamp events must pop
+  // in scheduling order even when interleaved with earlier/later events and
+  // with events scheduled from inside callbacks. A priority_queue without
+  // the stable sequence counter passes the trivial all-equal case but fails
+  // this one on some libstdc++ heap layouts, silently de-synchronizing
+  // simulation runs across toolchains.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(2.0, [&] { order.push_back(10); });
+  queue.schedule(1.0, [&] {
+    order.push_back(0);
+    queue.schedule(2.0, [&] { order.push_back(12); });  // After both 2.0 events.
+    queue.schedule(1.0, [&] { order.push_back(2); });   // After the other 1.0 event.
+  });
+  queue.schedule(3.0, [&] { order.push_back(20); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(11); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10, 11, 12, 20}));
+
+  // Larger churn: 64 batches scheduled round-robin over 8 shared timestamps
+  // must drain batch-insertion order within each timestamp.
+  EventQueue stress;
+  std::vector<std::pair<int, int>> fired;  // (time index, insertion index).
+  for (int i = 0; i < 64; ++i) {
+    const int t = i % 8;
+    stress.schedule(static_cast<double>(t), [&fired, t, i] { fired.emplace_back(t, i); });
+  }
+  stress.run_all();
+  ASSERT_EQ(fired.size(), 64u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second) << "at position " << i;
+    } else {
+      EXPECT_LT(fired[i - 1].first, fired[i].first) << "at position " << i;
+    }
+  }
 }
 
 TEST(EventQueue, EventsCanScheduleEvents) {

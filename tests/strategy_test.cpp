@@ -230,6 +230,94 @@ TEST(StrategyLp, ErrorsOnBadInput) {
   const std::vector<double> short_caps(2, 1.0);
   EXPECT_THROW((void)optimize_access_strategy(m, grid, p, short_caps),
                std::invalid_argument);
+  const std::vector<double> short_weights(2, 0.5);
+  const auto caps = uniform_capacities(m.size(), 1.0);
+  EXPECT_THROW((void)optimize_access_strategy(m, grid, p, caps, short_weights),
+               std::invalid_argument);
+  std::vector<double> bad_weights(m.size(), 1.0 / static_cast<double>(m.size()));
+  bad_weights[1] = -0.1;
+  EXPECT_THROW((void)optimize_access_strategy(m, grid, p, caps, bad_weights),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- demand-weighted LP
+
+TEST(StrategyLp, UniformWeightsPinTheUnweightedLpBitwise) {
+  // Explicit uniform demand shares must reproduce the 1/|V| LP exactly —
+  // same coefficients, same simplex path, bitwise-equal output.
+  const LatencyMatrix m = net::small_synth(12, 37);
+  const quorum::GridQuorum grid{3};
+  const Placement p = best_grid_placement(m, 3).placement;
+  const auto caps = uniform_capacities(m.size(), grid.optimal_load() * 1.1);
+  const StrategyLpResult unweighted = optimize_access_strategy(m, grid, p, caps);
+  const std::vector<double> uniform(m.size(), 1.0 / static_cast<double>(m.size()));
+  const StrategyLpResult weighted = optimize_access_strategy(m, grid, p, caps, uniform);
+  ASSERT_EQ(unweighted.status, lp::SolveStatus::Optimal);
+  ASSERT_EQ(weighted.status, lp::SolveStatus::Optimal);
+  EXPECT_EQ(weighted.avg_network_delay, unweighted.avg_network_delay);
+  EXPECT_EQ(weighted.lp_iterations, unweighted.lp_iterations);
+  ASSERT_EQ(weighted.strategy.probability.size(), unweighted.strategy.probability.size());
+  for (std::size_t v = 0; v < m.size(); ++v) {
+    EXPECT_EQ(weighted.strategy.probability[v], unweighted.strategy.probability[v]);
+  }
+}
+
+TEST(StrategyLp, DemandWeightsEnterTheCapacityRows) {
+  // One hot client carrying half the demand: the weighted LP must keep the
+  // *demand-weighted* load under the caps, which forces it to spread the
+  // hot client's accesses where the uniform LP did not have to.
+  const LatencyMatrix m = net::small_synth(12, 37);
+  const quorum::GridQuorum grid{3};
+  const Placement p = best_grid_placement(m, 3).placement;
+  const double cap_level = grid.optimal_load() * 1.1;
+  const auto caps = uniform_capacities(m.size(), cap_level);
+  std::vector<double> weights(m.size(), 0.5 / static_cast<double>(m.size() - 1));
+  weights[0] = 0.5;
+  const StrategyLpResult lp = optimize_access_strategy(m, grid, p, caps, weights);
+  ASSERT_EQ(lp.status, lp::SolveStatus::Optimal);
+  lp.strategy.validate(m.size(), grid.universe_size());
+  const auto loads = site_loads_explicit(lp.strategy, p, m.size(), weights);
+  for (double load : loads) EXPECT_LE(load, cap_level + 1e-6);
+  // The LP objective is the demand-weighted average delay of the strategy.
+  double expected = 0.0;
+  for (std::size_t v = 0; v < m.size(); ++v) {
+    const auto values = element_distances(m, p, v);
+    for (std::size_t i = 0; i < lp.strategy.quorums.size(); ++i) {
+      double worst = 0.0;
+      for (std::size_t u : lp.strategy.quorums[i]) worst = std::max(worst, values[u]);
+      expected += weights[v] * lp.strategy.probability[v][i] * worst;
+    }
+  }
+  EXPECT_NEAR(lp.avg_network_delay, expected, 1e-6);
+  // And it genuinely differs from the uniform solution under these caps.
+  const StrategyLpResult uniform = optimize_access_strategy(m, grid, p, caps);
+  ASSERT_EQ(uniform.status, lp::SolveStatus::Optimal);
+  EXPECT_NE(lp.avg_network_delay, uniform.avg_network_delay);
+}
+
+TEST(StrategyLp, UniformLpOverloadsCapacityUnderSkewTheWeightedLpFixes) {
+  // The point of the demand-weighted capacity rows: a strategy the 1/|V| LP
+  // certifies as feasible can overload sites once one client carries most
+  // of the demand (its closest-quorum concentration now weighs its share,
+  // not 1/|V|), while the weighted LP keeps the true weighted load legal.
+  const LatencyMatrix m = net::small_synth(12, 43);
+  const quorum::GridQuorum grid{3};
+  const Placement p = best_grid_placement(m, 3).placement;
+  const double cap_level = grid.optimal_load() * 1.05;
+  const auto caps = uniform_capacities(m.size(), cap_level);
+  std::vector<double> weights(m.size(), 0.3 / static_cast<double>(m.size() - 1));
+  weights[0] = 0.7;
+  const StrategyLpResult uniform = optimize_access_strategy(m, grid, p, caps);
+  const StrategyLpResult skewed = optimize_access_strategy(m, grid, p, caps, weights);
+  ASSERT_EQ(uniform.status, lp::SolveStatus::Optimal);
+  ASSERT_EQ(skewed.status, lp::SolveStatus::Optimal);
+
+  const auto max_load = [&](const StrategyLpResult& lp) {
+    const auto loads = site_loads_explicit(lp.strategy, p, m.size(), weights);
+    return *std::max_element(loads.begin(), loads.end());
+  };
+  EXPECT_GT(max_load(uniform), cap_level + 1e-6);   // Overloaded under skew.
+  EXPECT_LE(max_load(skewed), cap_level + 1e-6);    // Weighted LP stays legal.
 }
 
 }  // namespace
