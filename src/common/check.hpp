@@ -1,0 +1,145 @@
+// Leveled runtime invariant framework.
+//
+// The repo's correctness claims — delta engines bitwise-repairable to a
+// fresh rebuild, demand-weighted objectives collapsing to the uniform
+// arithmetic, bit-identical results for any QP_THREADS — used to be guarded
+// by ad-hoc `assert`s whose arming depended on NDEBUG, i.e. on build type.
+// These macros decouple "which invariants run" from "how the code is
+// optimized" behind one knob:
+//
+//   QP_CHECK_LEVEL 0  — everything compiled out (Release default).
+//   QP_CHECK_LEVEL 1  — cheap structural invariants: O(1)-ish conditions on
+//                       already-computed state (Debug default).
+//   QP_CHECK_LEVEL 2  — additionally arms the parity audits: expensive
+//                       recomputation of a result by an independent path
+//                       (e.g. DeltaEvaluator::apply_move re-evaluating the
+//                       whole objective). CI sanitizer jobs set this
+//                       explicitly (see CMakePresets.json `asan`).
+//
+// Set the level via CMake (-DQP_CHECK_LEVEL=2, plumbed as a compile
+// definition) or accept the NDEBUG-derived default below. Call sites guard
+// the *setup* for expensive audits with `#if QP_PARITY_AUDIT_ENABLED` so a
+// level-0 build pays neither the recomputation nor an unused-variable
+// warning.
+//
+// Failures print the expression, message, and file:line to stderr and
+// abort() — sanitizer runs get a clean report, and no exception unwinds
+// through noexcept paths.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef QP_CHECK_LEVEL
+#ifdef NDEBUG
+#define QP_CHECK_LEVEL 0
+#else
+#define QP_CHECK_LEVEL 1
+#endif
+#endif
+
+/// True when level-2 parity audits are armed; gates their (often expensive)
+/// reference recomputation at call sites.
+#define QP_PARITY_AUDIT_ENABLED (QP_CHECK_LEVEL >= 2)
+
+namespace qp::common::detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expression,
+                                      const char* message, const char* file,
+                                      int line) noexcept {
+  std::fprintf(stderr, "%s failed: %s\n  %s\n  at %s:%d\n", kind, expression, message,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void check_eq_failed(const char* kind, const char* expression,
+                                         double actual, double expected, double rel_eps,
+                                         const char* message, const char* file,
+                                         int line) noexcept {
+  std::fprintf(stderr,
+               "%s failed: %s\n  actual=%.17g expected=%.17g |diff|=%.3g allowed=%.3g\n"
+               "  %s\n  at %s:%d\n",
+               kind, expression, actual, expected, std::fabs(actual - expected),
+               rel_eps * std::fmax(1.0, std::fabs(expected)), message, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// |actual - expected| <= rel_eps * max(1, |expected|): the relative-with-
+/// absolute-floor comparison every parity suite in the repo uses. NaNs never
+/// pass (any comparison with NaN is false).
+[[nodiscard]] inline bool nearly_equal(double actual, double expected,
+                                       double rel_eps) noexcept {
+  return std::fabs(actual - expected) <= rel_eps * std::fmax(1.0, std::fabs(expected));
+}
+
+}  // namespace qp::common::detail
+
+// When a level disables a macro it must still parse (and odr-reference) its
+// arguments so disabled builds cannot bit-rot, while evaluating nothing at
+// runtime — hence the `if (false)` form instead of a bare `((void)0)`.
+
+#if QP_CHECK_LEVEL >= 1
+#define QP_CHECK(condition, message)                                                   \
+  do {                                                                                 \
+    if (!(condition)) {                                                                \
+      ::qp::common::detail::check_failed("QP_CHECK", #condition, (message), __FILE__,  \
+                                         __LINE__);                                    \
+    }                                                                                  \
+  } while (false)
+#define QP_CHECK_EQ_EPS(actual, expected, rel_eps, message)                            \
+  do {                                                                                 \
+    const double qp_check_actual_ = (actual);                                          \
+    const double qp_check_expected_ = (expected);                                      \
+    if (!::qp::common::detail::nearly_equal(qp_check_actual_, qp_check_expected_,      \
+                                            (rel_eps))) {                              \
+      ::qp::common::detail::check_eq_failed("QP_CHECK_EQ_EPS", #actual " ~= " #expected, \
+                                            qp_check_actual_, qp_check_expected_,      \
+                                            (rel_eps), (message), __FILE__, __LINE__); \
+    }                                                                                  \
+  } while (false)
+#else
+#define QP_CHECK(condition, message)                                                   \
+  do {                                                                                 \
+    if (false) {                                                                       \
+      (void)(condition);                                                               \
+      (void)(message);                                                                 \
+    }                                                                                  \
+  } while (false)
+#define QP_CHECK_EQ_EPS(actual, expected, rel_eps, message)                            \
+  do {                                                                                 \
+    if (false) {                                                                       \
+      (void)(actual);                                                                  \
+      (void)(expected);                                                                \
+      (void)(rel_eps);                                                                 \
+      (void)(message);                                                                 \
+    }                                                                                  \
+  } while (false)
+#endif
+
+#if QP_PARITY_AUDIT_ENABLED
+#define QP_PARITY_ASSERT(actual, expected, rel_eps, message)                           \
+  do {                                                                                 \
+    const double qp_parity_actual_ = (actual);                                         \
+    const double qp_parity_expected_ = (expected);                                     \
+    if (!::qp::common::detail::nearly_equal(qp_parity_actual_, qp_parity_expected_,    \
+                                            (rel_eps))) {                              \
+      ::qp::common::detail::check_eq_failed("QP_PARITY_ASSERT",                        \
+                                            #actual " ~= " #expected,                  \
+                                            qp_parity_actual_, qp_parity_expected_,    \
+                                            (rel_eps), (message), __FILE__, __LINE__); \
+    }                                                                                  \
+  } while (false)
+#else
+#define QP_PARITY_ASSERT(actual, expected, rel_eps, message)                           \
+  do {                                                                                 \
+    if (false) {                                                                       \
+      (void)(actual);                                                                  \
+      (void)(expected);                                                                \
+      (void)(rel_eps);                                                                 \
+      (void)(message);                                                                 \
+    }                                                                                  \
+  } while (false)
+#endif

@@ -5,6 +5,10 @@
 // reproducible bit-for-bit from a single 64-bit seed. We deliberately avoid
 // std::mt19937 + std::uniform_*_distribution because their outputs are not
 // guaranteed identical across standard-library implementations.
+//
+// This module is the only place allowed to touch std::random_device /
+// std::rand / time-seeded engines: tools/qp_lint.py rule QPL002 flags any
+// other use tree-wide (see tests/README.md "Static analysis & sanitizers").
 #pragma once
 
 #include <array>

@@ -86,6 +86,13 @@ ThreadPool::ThreadPool(std::size_t thread_count) : impl_(std::make_unique<Impl>(
 }
 
 ThreadPool::~ThreadPool() {
+  // Serialize teardown behind submit_mutex so a parallel_for still in flight
+  // on another thread drains completely before stop is raised. Without this,
+  // a worker parked at work_cv could observe stop before the in-flight job's
+  // generation bump and exit without decrementing busy_workers, hanging that
+  // caller forever (exercised by race_stress_test TeardownRightAfterWork /
+  // TeardownWhileAnotherThreadSubmits under TSan).
+  const std::lock_guard<std::mutex> submit_lock{impl_->submit_mutex};
   {
     std::lock_guard<std::mutex> lock{impl_->mutex};
     impl_->stop = true;
@@ -138,7 +145,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 ThreadPool& global_thread_pool() {
   static ThreadPool pool{[] {
     std::size_t count = 0;  // 0 = hardware_concurrency.
-    if (const char* env = std::getenv("QP_THREADS")) {
+    // Read once at static-init of the singleton, before any pool thread
+    // exists — the mt-unsafety cannot bite. NOLINT(concurrency-mt-unsafe)
+    if (const char* env = std::getenv("QP_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
       const long parsed = std::strtol(env, nullptr, 10);
       if (parsed > 0) count = static_cast<std::size_t>(parsed);
     }

@@ -28,6 +28,11 @@ class ThreadPool {
   /// 0 means std::thread::hardware_concurrency() (at least 1). A pool of
   /// size 1 spawns no threads and runs everything inline.
   explicit ThreadPool(std::size_t thread_count = 0);
+
+  /// Joins all workers. Serializes with in-flight parallel_for calls from
+  /// other threads (they drain before shutdown begins), so destroying a pool
+  /// immediately after — or concurrently with — use is safe; scheduling NEW
+  /// work after destruction begins is still undefined.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -1,11 +1,11 @@
 #include "core/delta_eval.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "common/simd_kernels.hpp"
 #include "quorum/grid.hpp"
 #include "quorum/majority.hpp"
@@ -347,7 +347,9 @@ void DeltaEvaluator::repair_single(std::size_t element, std::size_t site,
         // Remove the (bit-exact) old value, insert the new one: the row's
         // contents match a from-scratch sort of the updated multiset.
         double* p = std::lower_bound(y, end, old_value);
-        assert(p != end && *p == old_value);
+        QP_CHECK(p != end && *p == old_value,
+                 "SortedWeights repair: the bit-exact old value vanished from the "
+                 "sorted row (placement and tables out of sync)");
         std::copy(p + 1, end, p);
         double* ins = std::lower_bound(y, end - 1, new_value);
         std::copy_backward(ins, end - 1, end);
@@ -462,8 +464,8 @@ double DeltaEvaluator::objective_if_moved_general(std::size_t element,
 }
 
 double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site) const {
-  assert(element < n_);
-  assert(site < matrix_->size());
+  QP_CHECK(element < n_, "objective_if_moved: element out of range");
+  QP_CHECK(site < matrix_->size(), "objective_if_moved: site out of range");
   const std::size_t old_site = placement_.site_of[element];
   if (site == old_site) return objective();
   if (closest_) return closest_if_moved(element, site);
@@ -879,7 +881,9 @@ void DeltaEvaluator::apply_move_closest(std::size_t element, std::size_t site) {
         double* y = sorted_.data() + v * n_;
         double* end = y + n_;
         double* p = std::lower_bound(y, end, d_old);
-        assert(p != end && *p == d_old);
+        QP_CHECK(p != end && *p == d_old,
+                 "ClosestMajority repair: the bit-exact old value vanished from the "
+                 "sorted row (placement and tables out of sync)");
         std::copy(p + 1, end, p);
         double* ins = std::lower_bound(y, end - 1, d_new);
         std::copy_backward(ins, end - 1, end);
@@ -969,11 +973,14 @@ void DeltaEvaluator::apply_move(std::size_t element, std::size_t site) {
     placement_.site_of[element] = site;
     repair_single(element, site, old_site, old_add, new_add);
   }
-#ifndef NDEBUG
+#if QP_PARITY_AUDIT_ENABLED
   // Parity against the naive objective: the repaired base must match a full
-  // re-evaluation (summation order differs, hence the tolerance).
+  // re-evaluation (summation order differs, hence the tolerance). Armed at
+  // QP_CHECK_LEVEL=2 (the asan preset), not by build type.
   const double naive = objective_->evaluate(*matrix_, *system_, placement_);
-  assert(std::abs(objective() - naive) <= 1e-9 * std::max(1.0, std::abs(naive)));
+  QP_PARITY_ASSERT(objective(), naive, 1e-9,
+                   "apply_move: incrementally repaired objective diverged from a "
+                   "fresh evaluation of the moved placement");
 #endif
 }
 

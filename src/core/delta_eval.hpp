@@ -60,9 +60,10 @@
 // compound across moves.
 //
 // All modes return values within ~1e-12 of Objective::evaluate (summation
-// order differs, so bit-identity is not guaranteed), and apply_move asserts
-// that parity in debug builds. objective_if_moved is const and thread-safe,
-// so a parallel neighborhood scan may share one evaluator.
+// order differs, so bit-identity is not guaranteed), and apply_move audits
+// that parity via QP_PARITY_ASSERT when QP_CHECK_LEVEL >= 2 (see
+// common/check.hpp; the asan preset arms it). objective_if_moved is const
+// and thread-safe, so a parallel neighborhood scan may share one evaluator.
 #pragma once
 
 #include <cstddef>

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "core/response.hpp"
 #include "core/strategy.hpp"
 
@@ -46,6 +47,8 @@ std::vector<double> Objective::site_loads(const net::LatencyMatrix& matrix,
     throw std::invalid_argument{"Objective::site_loads: element_loads size mismatch"};
   }
   for (std::size_t u = 0; u < lambda.size(); ++u) {
+    QP_CHECK(placement.site_of[u] < loads.size(),
+             "Objective::site_loads: placement maps an element past the matrix");
     loads[placement.site_of[u]] += lambda[u];
   }
   return loads;
@@ -215,6 +218,17 @@ std::optional<ExplicitStrategy> ClosestStrategyObjective::export_strategy(
   for (std::size_t v = 0; v < chosen.size(); ++v) {
     strategy.probability[v][client_quorum[v]] = 1.0;
   }
+#if QP_PARITY_AUDIT_ENABLED
+  // The exported deterministic strategy must be a proper distribution per
+  // client (exactly one unit of mass) — the engine's sampler trusts this.
+  for (std::size_t v = 0; v < chosen.size(); ++v) {
+    double mass = 0.0;
+    for (double p : strategy.probability[v]) mass += p;
+    QP_PARITY_ASSERT(mass, 1.0, 1e-12,
+                     "ClosestStrategyObjective::export_strategy: client row is not a "
+                     "probability distribution");
+  }
+#endif
   return strategy;
 }
 

@@ -99,7 +99,9 @@ class Objective {
   /// evaluates analytically. The closest strategy returns point masses on
   /// each client's argmin quorum (tie-breaking included); balanced
   /// objectives return nullopt, meaning "uniform over all quorums", which
-  /// the engine samples analytically without enumeration.
+  /// the engine samples analytically without enumeration. Exported rows are
+  /// parity-audited (each distribution sums to 1) via QP_PARITY_ASSERT when
+  /// QP_CHECK_LEVEL >= 2 (common/check.hpp; the asan preset arms it).
   [[nodiscard]] virtual std::optional<ExplicitStrategy> export_strategy(
       const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
       const Placement& placement) const;

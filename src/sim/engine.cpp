@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/strategy_sampler.hpp"
@@ -140,7 +141,12 @@ class Replication {
   /// came back.
   void resolve(std::uint64_t id, bool message_lost) {
     const auto it = requests_.find(id);
+    QP_CHECK(it != requests_.end(),
+             "Replication::resolve: reply for a request that is not in flight "
+             "(double completion or table corruption)");
     Request& request = it->second;
+    QP_CHECK(request.pending > 0,
+             "Replication::resolve: request has no outstanding messages left");
     if (message_lost) request.failed = true;
     if (--request.pending > 0) return;
     if (request.windowed) {
@@ -168,6 +174,8 @@ class Replication {
   OutageSchedule outages_;
   std::vector<std::size_t> clients_;            // Sites with a positive rate.
   std::vector<ArrivalGenerator> generators_;    // Parallel to clients_.
+  // Keyed lookups only (find/emplace/erase) — never iterated, so the
+  // implementation-defined order can't reach results (qp-lint QPL001).
   std::unordered_map<std::uint64_t, Request> requests_;
   std::uint64_t next_request_ = 0;
   quorum::Quorum scratch_;
@@ -271,6 +279,10 @@ EngineResult run_engine(const net::LatencyMatrix& matrix,
     pooled.insert(pooled.end(), rep.response_samples.begin(),
                   rep.response_samples.end());
   }
+  // run_all drains every event, so every measurement-window request must
+  // have resolved exactly once as completed or failed.
+  QP_CHECK(result.completed + result.failed == result.issued,
+           "run_engine: windowed request accounting does not balance");
   const double inv_reps = 1.0 / static_cast<double>(config.replications);
   for (double& utilization : result.site_utilization) utilization *= inv_reps;
   result.peak_utilization =

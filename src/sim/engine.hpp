@@ -24,7 +24,9 @@
 // replication derives its own rng stream from the master seed via a
 // SplitMix64 chain (stream r = the r-th SplitMix64 output), results land in
 // replication-indexed slots, and the reduction replays serial order — so
-// results are bit-identical for any QP_THREADS.
+// results are bit-identical for any QP_THREADS. The fan-out is exercised
+// under ThreadSanitizer by tests/race_stress_test.cpp (the `tsan` preset),
+// including nested runs from inside a parallel_for worker.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/check.hpp"
+
 namespace qp::sim {
 
 void EventQueue::schedule(double time, Callback callback) {
@@ -18,6 +20,8 @@ bool EventQueue::run_next() {
   // the event rates this simulator runs at).
   Event event = events_.top();
   events_.pop();
+  QP_CHECK(event.time >= now_,
+           "EventQueue: clock would run backwards (heap ordering violated)");
   now_ = event.time;
   ++executed_;
   event.callback();

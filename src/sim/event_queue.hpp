@@ -1,6 +1,15 @@
 // Minimal discrete-event simulation engine: a time-ordered queue of
-// callbacks with a monotone simulation clock. Events at equal times run in
-// scheduling (FIFO) order, which keeps runs deterministic.
+// callbacks with a monotone simulation clock.
+//
+// Ordering contract: events pop in lexicographic (time, sequence) order,
+// where sequence is a monotone counter stamped at schedule() time. For equal
+// timestamps that is *global scheduling order* — NOT a property of the
+// underlying heap (std::priority_queue is unstable) — so an event scheduled
+// from inside a callback at the current timestamp runs after every
+// previously scheduled equal-time event, including ones already in the
+// queue before the callback fired. This is what keeps replications
+// deterministic and bit-identical across toolchains
+// (tests/sim_test.cpp pins it under heap churn).
 #pragma once
 
 #include <cstdint>
@@ -20,8 +29,10 @@ class EventQueue {
   /// Pops and runs the earliest event; returns false when no events remain.
   bool run_next();
 
-  /// Runs events with time <= end_time; the clock finishes at the time of
-  /// the last executed event (or end_time if nothing ran beyond it).
+  /// Runs events with time <= end_time; the clock then finishes at
+  /// end_time exactly (advanced past the last executed event), unless it
+  /// was already beyond end_time, in which case nothing runs and the clock
+  /// is unchanged.
   void run_until(double end_time);
 
   /// Drains the queue completely.
@@ -35,7 +46,7 @@ class EventQueue {
  private:
   struct Event {
     double time = 0.0;
-    std::uint64_t sequence = 0;  // FIFO tie-break for simultaneous events.
+    std::uint64_t sequence = 0;  // Scheduling-order tie-break at equal times.
     Callback callback;
   };
   struct Later {

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's first-party sources.
+
+Reads compile_commands.json from the build directory (every preset exports
+it via CMAKE_EXPORT_COMPILE_COMMANDS), filters to translation units under
+src/, and runs clang-tidy on each with the checked-in .clang-tidy config.
+Any diagnostic that is not NOLINT-annotated fails the run — this is the
+second half of the `lint` CMake target and the CI lint job, next to
+tools/qp_lint.py.
+
+Usage:
+    run_clang_tidy.py -p <build-dir> [--clang-tidy BIN] [--jobs N]
+                      [--filter REGEX]
+
+Exit status: 0 clean, 1 diagnostics emitted, 2 usage/setup error.
+"""
+
+import argparse
+import json
+import multiprocessing
+import re
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+
+def load_compile_commands(build_dir):
+    database = build_dir / "compile_commands.json"
+    if not database.is_file():
+        print(
+            f"run_clang_tidy: {database} not found — configure with "
+            "CMAKE_EXPORT_COMPILE_COMMANDS=ON (all presets do)",
+            file=sys.stderr,
+        )
+        return None
+    return json.loads(database.read_text())
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="run_clang_tidy")
+    parser.add_argument("-p", "--build-dir", type=Path, required=True,
+                        help="build directory containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary (default: clang-tidy on PATH)")
+    parser.add_argument("--jobs", type=int, default=max(1, multiprocessing.cpu_count()),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--filter", default=r"/src/.*\.cpp$",
+                        help="regex selecting translation units (default: src/*.cpp)")
+    args = parser.parse_args(argv)
+
+    commands = load_compile_commands(args.build_dir)
+    if commands is None:
+        return 2
+    pattern = re.compile(args.filter)
+    files = sorted({entry["file"] for entry in commands if pattern.search(entry["file"])})
+    if not files:
+        print(f"run_clang_tidy: no TUs match {args.filter!r}", file=sys.stderr)
+        return 2
+
+    def run_one(path):
+        result = subprocess.run(
+            [args.clang_tidy, "-p", str(args.build_dir), "--quiet", path],
+            capture_output=True,
+            text=True,
+        )
+        # clang-tidy prints "N warnings generated" chatter to stderr; the
+        # diagnostics themselves go to stdout.
+        return path, result.returncode, result.stdout.strip()
+
+    failures = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, returncode, output in pool.map(run_one, files):
+            if output or returncode != 0:
+                failures += 1
+                print(f"--- {path}")
+                if output:
+                    print(output)
+    print(
+        f"run_clang_tidy: {len(files)} TU(s), {failures} with diagnostics",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
