@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   config.include_lp = true;
   config.include_outage = true;
   config.include_mmpp = true;
+  config.include_fault = true;
   config.shard = eval::point_shard_from_env();  // run_all.sh --points K/N.
   if (smoke) {
     config.rho_values = {0.3};
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
   scenario_config.include_lp = false;
   scenario_config.include_outage = false;
   scenario_config.include_mmpp = false;
+  scenario_config.include_fault = false;
   for (const sim::Scenario& scenario :
        {sim::daxlist161_scenario(), sim::synthetic500_scenario()}) {
     const auto rows = eval::sim_validation_scenario(scenario, scenario_config);
@@ -101,6 +103,7 @@ int main(int argc, char** argv) {
     std::string name = "SimValidation/" + p.scenario + "/" + p.system + "/" + p.strategy +
                        "/" + p.arrivals + "/rho=" + rho;
     if (p.outage) name += "/outage";
+    if (p.fault) name += "/fault";
     qp::bench::register_point(name, [p](benchmark::State& state) {
       state.counters["analytic_ms"] = p.analytic_ms;
       state.counters["simulated_ms"] = p.simulated_ms;
@@ -108,6 +111,12 @@ int main(int argc, char** argv) {
       state.counters["p99_ms"] = p.p99_ms;
       state.counters["peak_utilization"] = p.peak_utilization;
       state.counters["dropped_messages"] = static_cast<double>(p.dropped_messages);
+      if (p.fault) {
+        state.counters["unavailability_analytic"] = p.unavailability_analytic;
+        state.counters["unavailability_sim"] = p.unavailability_sim;
+        state.counters["retries"] = static_cast<double>(p.retries);
+        state.counters["abandoned"] = static_cast<double>(p.abandoned);
+      }
     });
   }
   return qp::bench::run_benchmarks(argc, argv);

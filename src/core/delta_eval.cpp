@@ -57,6 +57,11 @@ DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
       placement_(placement),
       mode_(Mode::Recompute) {
   placement_.validate(matrix.size());
+  if (!objective.supports_delta()) {
+    throw std::invalid_argument{
+        "DeltaEvaluator: objective does not support incremental evaluation "
+        "(use LocalSearchEngine::Naive / full re-evaluation)"};
+  }
   clients_ = matrix.size();
   n_ = placement_.universe_size();
   if (n_ != system.universe_size()) {

@@ -172,7 +172,10 @@ LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
   }
   const Objective& objective =
       options.objective != nullptr ? *options.objective : network_delay_objective();
-  if (options.engine == LocalSearchEngine::Naive) {
+  // Objectives the incremental engine cannot model (expectations over
+  // failure sets, see Objective::supports_delta) silently take the naive
+  // full-re-evaluation path; results are engine-independent either way.
+  if (options.engine == LocalSearchEngine::Naive || !objective.supports_delta()) {
     return local_search_naive(matrix, system, initial, objective, options);
   }
   return local_search_delta(matrix, system, initial, objective, options);

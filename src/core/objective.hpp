@@ -64,6 +64,13 @@ class Objective {
     return AccessStrategy::Balanced;
   }
 
+  /// Whether the incremental DeltaEvaluator models this objective exactly.
+  /// Objectives whose value is not the (4.1) closest/balanced arithmetic —
+  /// e.g. expectations over failure sets (FailureAwareObjective) — return
+  /// false; local_search_placement then falls back to full re-evaluation
+  /// (the Naive engine) and DeltaEvaluator refuses construction.
+  [[nodiscard]] virtual bool supports_delta() const noexcept { return true; }
+
   /// Per-client demand shares w_v (normalized to sum 1); empty = uniform
   /// clients. A constant demand vector is collapsed to empty at
   /// construction, so uniform-demand evaluations reproduce the historical

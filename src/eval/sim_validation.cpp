@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "core/failure_objective.hpp"
 #include "core/objective.hpp"
 #include "core/placement.hpp"
 #include "core/response.hpp"
@@ -13,6 +14,7 @@
 #include "quorum/grid.hpp"
 #include "quorum/majority.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace qp::eval {
 
@@ -28,6 +30,7 @@ struct PointSpec {
   double rho = 0.0;
   sim::ArrivalModel arrivals = sim::ArrivalModel::Poisson;
   bool outage = false;
+  bool fault = false;  // FaultInjector + Oracle failover + FailureAware analytic.
 };
 
 /// Runs one operating point: rate scaling, the analytic prediction at the
@@ -97,6 +100,39 @@ SimValidationPoint run_point(const net::LatencyMatrix& matrix,
     const double start = config.warmup_ms + 0.25 * config.duration_ms;
     engine.outages.push_back({victim, start, start + 0.25 * config.duration_ms});
   }
+  core::FailureAwareEvaluation fault_analytic{};
+  if (spec.fault) {
+    sim::FaultInjectorConfig fault_config;
+    // Decorrelated from the engine's replication chain (same SplitMix64
+    // stream family) so fault windows and arrival streams stay independent.
+    fault_config.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+    fault_config.horizon_ms = config.warmup_ms + config.duration_ms;
+    fault_config.site =
+        sim::FaultProcess::for_down_probability(config.fault_site_prob,
+                                                config.fault_mttr_ms);
+    const sim::FaultInjector injector{fault_config};
+    engine.outages = injector.schedule(n);
+    // Timeout adapted to the topology: twice the slowest client->support
+    // RTT plus queueing slack — rare under load alone, short against the
+    // MTTR so crashed attempts fail over well inside an outage.
+    const std::vector<std::size_t> support = placement.support_set();
+    double max_rtt = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t w : support) max_rtt = std::max(max_rtt, matrix.rtt(v, w));
+    }
+    engine.retry.timeout_ms = 1.25 * max_rtt + 25.0 * service;
+    engine.retry.max_attempts = 4;
+    engine.retry.backoff_base_ms = 0.0;  // Immediate re-choice, as the model.
+    engine.failover = sim::FailoverMode::Oracle;
+
+    core::FailureModel model;
+    model.site_failure_prob = injector.steady_state_down();
+    core::FailureAwareOptions options;
+    options.seed = config.seed;
+    options.mc_samples = 20'000;
+    const core::FailureAwareObjective objective{alpha, model, demand, options};
+    fault_analytic = objective.evaluate_detailed(matrix, system, placement);
+  }
   const sim::EngineResult result = run_engine(matrix, system, placement, rates, engine);
 
   SimValidationPoint point;
@@ -105,7 +141,12 @@ SimValidationPoint run_point(const net::LatencyMatrix& matrix,
   point.strategy = spec.strategy;
   point.arrivals = spec.arrivals == sim::ArrivalModel::Poisson ? "poisson" : "mmpp";
   point.target_rho = spec.rho;
-  point.analytic_ms = analytic.avg_response_ms + service;
+  // Fault rows pin the engine's completed-request mean against the
+  // degraded-mode objective's conditional mean E[R | available]; live rows
+  // keep the matching live objective. Both add the one service time every
+  // simulated reply pays.
+  point.analytic_ms = spec.fault ? fault_analytic.expected_response_ms + service
+                                 : analytic.avg_response_ms + service;
   point.simulated_ms = result.mean_response_ms;
   point.divergence_pct =
       100.0 * (point.simulated_ms - point.analytic_ms) / point.analytic_ms;
@@ -116,6 +157,11 @@ SimValidationPoint run_point(const net::LatencyMatrix& matrix,
   point.completed = result.completed;
   point.dropped_messages = result.dropped_messages;
   point.outage = spec.outage;
+  point.fault = spec.fault;
+  point.unavailability_analytic = fault_analytic.unavailability;
+  point.unavailability_sim = result.unavailability;
+  point.retries = result.retries;
+  point.abandoned = result.abandoned;
   return point;
 }
 
@@ -160,6 +206,13 @@ std::vector<SimValidationPoint> run_figure(const net::LatencyMatrix& matrix,
   if (config.include_mmpp) {
     for (const SystemUnderTest& sut : suts) {
       maybe_run(sut, {"balanced", 0.6, sim::ArrivalModel::Mmpp, false});
+    }
+  }
+  if (config.include_fault) {
+    for (const SystemUnderTest& sut : suts) {
+      for (double rho : {0.15, 0.3}) {
+        maybe_run(sut, {"closest", rho, {}, false, /*fault=*/true});
+      }
     }
   }
   return points;

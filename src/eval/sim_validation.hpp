@@ -41,6 +41,17 @@ struct SimValidationPoint {
   std::size_t completed = 0;
   std::size_t dropped_messages = 0;
   bool outage = false;
+
+  // --- Fault-injection rows (include_fault) ------------------------------
+  /// True on rows driven by sim::FaultInjector crash/recovery schedules
+  /// with Oracle failover; analytic_ms is then the FailureAwareObjective
+  /// conditional mean E[R | available] + service instead of the live
+  /// closest/balanced prediction.
+  bool fault = false;
+  double unavailability_analytic = 0.0;  // FailureAwareObjective prediction.
+  double unavailability_sim = 0.0;       // Engine (failed+abandoned)/issued.
+  std::size_t retries = 0;               // Engine retry attempts.
+  std::size_t abandoned = 0;             // Requests that exhausted attempts.
 };
 
 struct SimValidationConfig {
@@ -58,6 +69,18 @@ struct SimValidationConfig {
   bool include_outage = false;
   /// One balanced row per system with bursty MMPP arrivals at rho = 0.6.
   bool include_mmpp = false;
+  /// Closest-strategy rows per system at rho in {0.15, 0.3} under random
+  /// crash/recovery fault injection (sim/fault): every site cycles through
+  /// exponential MTTF/MTTR targeting fault_site_prob steady-state downtime,
+  /// the engine retries with FailoverMode::Oracle re-choice, and the
+  /// analytic column is core::FailureAwareObjective's conditional mean —
+  /// the closed-loop check that the degraded-mode objective predicts the
+  /// engine under faults (tests/fault_test.cpp pins the band).
+  bool include_fault = false;
+  /// Stationary per-site down probability of the injected fault process.
+  double fault_site_prob = 0.08;
+  /// Mean repair time of the injected fault process.
+  double fault_mttr_ms = 2'500.0;
   /// Interleaved selection over the enumerated rows (run_all.sh --points).
   PointShard shard{};
 };

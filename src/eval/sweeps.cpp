@@ -56,13 +56,16 @@ void print_csv(std::ostream& out, std::span<const LargeTopologyPoint> points) {
 void print_csv(std::ostream& out, std::span<const SimValidationPoint> points) {
   out << "scenario,system,strategy,arrivals,target_rho,analytic_ms,simulated_ms,"
          "divergence_pct,p50_ms,p95_ms,p99_ms,peak_utilization,completed,"
-         "dropped_messages,outage\n";
+         "dropped_messages,outage,fault,unavailability_analytic,unavailability_sim,"
+         "retries,abandoned\n";
   for (const SimValidationPoint& p : points) {
     out << p.scenario << ',' << p.system << ',' << p.strategy << ',' << p.arrivals << ','
         << p.target_rho << ',' << p.analytic_ms << ',' << p.simulated_ms << ','
         << p.divergence_pct << ',' << p.p50_ms << ',' << p.p95_ms << ',' << p.p99_ms
         << ',' << p.peak_utilization << ',' << p.completed << ',' << p.dropped_messages
-        << ',' << (p.outage ? 1 : 0) << '\n';
+        << ',' << (p.outage ? 1 : 0) << ',' << (p.fault ? 1 : 0) << ','
+        << p.unavailability_analytic << ',' << p.unavailability_sim << ',' << p.retries
+        << ',' << p.abandoned << '\n';
   }
 }
 

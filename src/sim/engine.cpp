@@ -20,10 +20,12 @@ namespace {
 /// and the serial-order reduction makes it bit-identical to a serial run.
 class Replication {
  public:
-  Replication(const net::LatencyMatrix& matrix, const core::Placement& placement,
-              std::span<const double> rates, const EngineConfig& config,
-              const QuorumSampler& sampler, std::uint64_t seed)
+  Replication(const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+              const core::Placement& placement, std::span<const double> rates,
+              const EngineConfig& config, const QuorumSampler& sampler,
+              std::uint64_t seed)
       : matrix_(matrix),
+        system_(system),
         placement_(placement),
         config_(config),
         sampler_(sampler),
@@ -32,7 +34,8 @@ class Replication {
         stations_(matrix.size(),
                   ServiceStation{config.warmup_ms, config.warmup_ms + config.duration_ms,
                                  config.queue_capacity}),
-        outages_(config.outages, matrix.size()) {
+        outages_(config.outages, matrix.size()),
+        suspicion_(matrix.size(), config.suspicion_ttl_ms) {
     for (std::size_t v = 0; v < rates.size(); ++v) {
       if (rates[v] <= 0.0) continue;
       clients_.push_back(v);
@@ -66,19 +69,41 @@ class Replication {
     result.issued = issued_;
     result.completed = completed_;
     result.failed = failed_;
+    result.abandoned = abandoned_;
     result.dropped_messages = dropped_;
     result.rejected_arrivals = rejected_;
+    result.retries = retries_;
+    result.stale_replies = stale_replies_;
+    result.retried_response = retried_response_;
+    result.unavailability =
+        issued_ == 0 ? 0.0
+                     : static_cast<double>(failed_ + abandoned_) /
+                           static_cast<double>(issued_);
     result.response_samples = std::move(samples_);
+    result.unserved_wait_ms = std::move(unserved_wait_);
     return result;
   }
 
  private:
   struct Request {
     double start = 0.0;
+    std::size_t client = 0;
     std::size_t pending = 0;
+    std::uint32_t attempt = 0;       // Tag discarding stale replies/timeouts.
+    std::size_t attempts_used = 0;
     bool failed = false;
     bool windowed = false;
+    /// Sites of the current attempt that have not replied yet — the
+    /// suspects when the attempt times out. Maintained only with retries.
+    std::vector<std::size_t> outstanding;
   };
+
+  /// Pushes down/suspected sites behind every live one in the failover
+  /// re-choice; large against any WAN RTT yet harmless to the argmin-max.
+  static constexpr double kFailoverPenaltyMs = 1.0e7;
+  static constexpr std::size_t kNoSite = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool retry_enabled() const noexcept { return config_.retry.enabled(); }
 
   [[nodiscard]] double draw_service() {
     return config_.service_model == ServiceModel::Deterministic
@@ -98,71 +123,182 @@ class Replication {
   }
 
   void issue(std::size_t client, double now) {
-    const quorum::Quorum& chosen = sampler_.draw(client, rng_, scratch_);
     const std::uint64_t id = next_request_++;
-    Request request;
+    const auto it = requests_.emplace(id, Request{}).first;
+    Request& request = it->second;
     request.start = now;
-    request.pending = chosen.size();
+    request.client = client;
     request.windowed = now >= config_.warmup_ms && now < end_of_issue_;
+    if (request.windowed) ++issued_;
+    start_attempt(id, request, now);
+  }
+
+  /// The quorum the current attempt of `request` uses. The failover modes
+  /// re-choose the minimum-RTT quorum with down (Oracle) or suspected
+  /// (Suspicion, retries only) sites penalized behind every live one —
+  /// still a valid quorum when no fully-live one exists, so the attempt
+  /// simply times out and tries again.
+  const quorum::Quorum& choose_quorum(const Request& request, double now) {
+    const bool rechoice =
+        config_.failover == FailoverMode::Oracle ||
+        (config_.failover == FailoverMode::Suspicion && request.attempt > 1);
+    if (!rechoice) return sampler_.draw(request.client, rng_, scratch_);
+    const std::size_t n = placement_.site_of.size();
+    values_.resize(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::size_t site = placement_.site_of[u];
+      const bool avoid = config_.failover == FailoverMode::Oracle
+                             ? outages_.down_at(site, now)
+                             : suspicion_.suspected(site, now);
+      values_[u] = matrix_.rtt(request.client, site) + (avoid ? kFailoverPenaltyMs : 0.0);
+    }
+    failover_quorum_ = system_.best_quorum(values_);
+    return failover_quorum_;
+  }
+
+  /// Sends one attempt of the request to a quorum and (with retries) arms
+  /// its timeout.
+  void start_attempt(std::uint64_t id, Request& request, double now) {
+    ++request.attempt;
+    ++request.attempts_used;
+    if (request.attempts_used > 1) ++retries_;
+    const quorum::Quorum& chosen = choose_quorum(request, now);
+    request.pending = chosen.size();
+    request.outstanding.clear();
+    const std::uint32_t attempt = request.attempt;
     double max_rtt = 0.0;
     for (std::size_t u : chosen) {
-      max_rtt = std::max(max_rtt, matrix_.rtt(client, placement_.site_of[u]));
-    }
-    if (request.windowed) {
-      ++issued_;
-      network_.add(max_rtt);
-    }
-    requests_.emplace(id, request);
-    for (std::size_t u : chosen) {
       const std::size_t site = placement_.site_of[u];
-      const double half = matrix_.rtt(client, site) / 2.0;
-      queue_.schedule(now + half, [this, id, site, half] { message(id, site, half); });
+      const double rtt = matrix_.rtt(request.client, site);
+      max_rtt = std::max(max_rtt, rtt);
+      if (retry_enabled()) request.outstanding.push_back(site);
+      const double half = rtt / 2.0;
+      queue_.schedule(now + half,
+                      [this, id, attempt, site, half] { message(id, attempt, site, half); });
+    }
+    if (request.attempts_used == 1 && request.windowed) network_.add(max_rtt);
+    if (retry_enabled()) {
+      queue_.schedule(now + config_.retry.timeout_ms,
+                      [this, id, attempt] { timeout(id, attempt); });
     }
   }
 
-  void message(std::uint64_t id, std::size_t site, double half_rtt) {
+  void message(std::uint64_t id, std::uint32_t attempt, std::size_t site,
+               double half_rtt) {
     const double now = queue_.now();
     if (outages_.down_at(site, now)) {
       ++dropped_;
-      resolve(id, /*message_lost=*/true);
+      lost(id, attempt);
       return;
     }
     if (stations_[site].full(now)) {
       ++rejected_;
-      resolve(id, /*message_lost=*/true);
+      lost(id, attempt);
       return;
     }
     const double depart = stations_[site].accept(now, draw_service());
-    queue_.schedule(depart + half_rtt, [this, id] { resolve(id, /*message_lost=*/false); });
+    queue_.schedule(depart + half_rtt, [this, id, attempt, site] {
+      resolve(id, attempt, site, /*message_lost=*/false);
+    });
   }
 
-  /// One of the request's messages finished (reply arrived) or died (outage
-  /// drop / queue overflow). The request completes only if every message
+  /// A message died (outage drop / queue overflow). Without the retry
+  /// machinery that fails the request immediately (legacy semantics); with
+  /// it the loss is silent and the attempt's timeout recovers the request.
+  void lost(std::uint64_t id, std::uint32_t attempt) {
+    if (!retry_enabled()) resolve(id, attempt, kNoSite, /*message_lost=*/true);
+  }
+
+  /// One of the attempt's messages finished (reply arrived) or died (legacy
+  /// loss). The request completes only if every message of the attempt
   /// came back.
-  void resolve(std::uint64_t id, bool message_lost) {
+  void resolve(std::uint64_t id, std::uint32_t attempt, std::size_t site,
+               bool message_lost) {
     const auto it = requests_.find(id);
+    if (retry_enabled() && (it == requests_.end() || it->second.attempt != attempt)) {
+      // Replies can outlive their attempt (the request retried or was
+      // abandoned) or the whole request (a timeout raced the last reply).
+      ++stale_replies_;
+      return;
+    }
     QP_CHECK(it != requests_.end(),
              "Replication::resolve: reply for a request that is not in flight "
              "(double completion or table corruption)");
     Request& request = it->second;
     QP_CHECK(request.pending > 0,
              "Replication::resolve: request has no outstanding messages left");
-    if (message_lost) request.failed = true;
+    if (message_lost) {
+      request.failed = true;
+    } else if (retry_enabled()) {
+      const auto pos =
+          std::find(request.outstanding.begin(), request.outstanding.end(), site);
+      if (pos != request.outstanding.end()) request.outstanding.erase(pos);
+    }
     if (--request.pending > 0) return;
     if (request.windowed) {
       if (request.failed) {
         ++failed_;
+        unserved_wait_.push_back(queue_.now() - request.start);
       } else {
         ++completed_;
         const double response = queue_.now() - request.start;
         response_.add(response);
         samples_.push_back(response);
+        if (request.attempts_used > 1) retried_response_.add(response);
       }
     }
     requests_.erase(it);
   }
 
+  /// The attempt's timeout expired. Stale when the attempt completed (the
+  /// request was erased) or already moved on (tag mismatch) — then it is a
+  /// no-op and in particular must not count toward retries (the engine twin
+  /// of protocol_sim's attempt-tag discard path).
+  void timeout(std::uint64_t id, std::uint32_t attempt) {
+    const auto it = requests_.find(id);
+    if (it == requests_.end() || it->second.attempt != attempt) return;
+    Request& request = it->second;
+    QP_CHECK(request.pending > 0,
+             "Replication::timeout: armed attempt has no outstanding messages");
+    const double now = queue_.now();
+    if (config_.failover == FailoverMode::Suspicion) {
+      for (std::size_t suspect : request.outstanding) suspicion_.suspect(suspect, now);
+    }
+    if (request.attempts_used >= config_.retry.max_attempts) {
+      if (request.windowed) {
+        ++abandoned_;
+        unserved_wait_.push_back(now - request.start);
+      }
+      requests_.erase(it);
+      return;
+    }
+    const double delay = config_.retry.backoff_delay(request.attempts_used, rng_);
+    if (delay <= 0.0) {
+      start_attempt(id, request, now);
+      return;
+    }
+    // Kill the timed-out attempt before waiting: bump the tag so straggler
+    // replies arriving during the backoff count as stale instead of
+    // completing an attempt the client already gave up on.
+    ++request.attempt;
+    request.pending = 0;
+    request.outstanding.clear();
+    const std::uint32_t backoff_tag = request.attempt;
+    queue_.schedule(now + delay, [this, id, backoff_tag] { begin_retry(id, backoff_tag); });
+  }
+
+  void begin_retry(std::uint64_t id, std::uint32_t backoff_tag) {
+    const auto it = requests_.find(id);
+    QP_CHECK(it != requests_.end() && it->second.attempt == backoff_tag,
+             "Replication::begin_retry: request vanished during backoff");
+    // The backoff tag consumed an attempt number but issued no messages;
+    // hand the slot back so attempts_used keeps counting real attempts.
+    --it->second.attempt;
+    start_attempt(id, it->second, queue_.now());
+  }
+
   const net::LatencyMatrix& matrix_;
+  const quorum::QuorumSystem& system_;
   const core::Placement& placement_;
   const EngineConfig& config_;
   const QuorumSampler& sampler_;
@@ -172,6 +308,7 @@ class Replication {
   EventQueue queue_;
   std::vector<ServiceStation> stations_;
   OutageSchedule outages_;
+  SuspicionList suspicion_;
   std::vector<std::size_t> clients_;            // Sites with a positive rate.
   std::vector<ArrivalGenerator> generators_;    // Parallel to clients_.
   // Keyed lookups only (find/emplace/erase) — never iterated, so the
@@ -179,15 +316,22 @@ class Replication {
   std::unordered_map<std::uint64_t, Request> requests_;
   std::uint64_t next_request_ = 0;
   quorum::Quorum scratch_;
+  quorum::Quorum failover_quorum_;  // choose_quorum's re-choice result.
+  std::vector<double> values_;      // Per-element RTT + penalty scratch.
 
   common::RunningStats response_;
   common::RunningStats network_;
+  common::RunningStats retried_response_;
   std::vector<double> samples_;
+  std::vector<double> unserved_wait_;
   std::size_t issued_ = 0;
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
+  std::size_t abandoned_ = 0;
   std::size_t dropped_ = 0;
   std::size_t rejected_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t stale_replies_ = 0;
 };
 
 QuorumSampler make_sampler(const net::LatencyMatrix& matrix,
@@ -245,6 +389,15 @@ EngineResult run_engine(const net::LatencyMatrix& matrix,
   if (config.replications == 0) {
     throw std::invalid_argument{"run_engine: replications must be >= 1"};
   }
+  config.retry.validate();
+  if (config.failover != FailoverMode::None && !config.retry.enabled()) {
+    throw std::invalid_argument{
+        "run_engine: failover re-choice requires an enabled retry policy"};
+  }
+  if (config.failover == FailoverMode::Suspicion && !(config.suspicion_ttl_ms > 0.0)) {
+    throw std::invalid_argument{
+        "run_engine: FailoverMode::Suspicion needs a positive suspicion_ttl_ms"};
+  }
 
   const QuorumSampler sampler = make_sampler(matrix, system, placement, config);
   // Validate the outage schedule once up front (each replication rebuilds
@@ -255,9 +408,10 @@ EngineResult run_engine(const net::LatencyMatrix& matrix,
   common::ThreadPool& pool =
       config.pool != nullptr ? *config.pool : common::global_thread_pool();
   pool.parallel_for(0, config.replications, [&](std::size_t r) {
-    Replication replication{matrix,  placement,
-                            arrival_rates_per_ms, config,
-                            sampler, replication_seed(config.master_seed, r)};
+    Replication replication{matrix,  system,
+                            placement, arrival_rates_per_ms,
+                            config,  sampler,
+                            replication_seed(config.master_seed, r)};
     replications[r] = replication.run();
   });
 
@@ -265,6 +419,7 @@ EngineResult run_engine(const net::LatencyMatrix& matrix,
   result.site_utilization.assign(matrix.size(), 0.0);
   common::RunningStats network;
   std::vector<double> pooled;
+  std::vector<double> degraded;  // Served responses + unserved give-up waits.
   for (const ReplicationResult& rep : replications) {
     result.response.merge(rep.response);
     network.merge(rep.network);
@@ -274,15 +429,27 @@ EngineResult run_engine(const net::LatencyMatrix& matrix,
     result.issued += rep.issued;
     result.completed += rep.completed;
     result.failed += rep.failed;
+    result.abandoned += rep.abandoned;
     result.dropped_messages += rep.dropped_messages;
     result.rejected_arrivals += rep.rejected_arrivals;
+    result.retries += rep.retries;
+    result.stale_replies += rep.stale_replies;
+    result.retried_response.merge(rep.retried_response);
     pooled.insert(pooled.end(), rep.response_samples.begin(),
                   rep.response_samples.end());
+    degraded.insert(degraded.end(), rep.unserved_wait_ms.begin(),
+                    rep.unserved_wait_ms.end());
   }
   // run_all drains every event, so every measurement-window request must
-  // have resolved exactly once as completed or failed.
-  QP_CHECK(result.completed + result.failed == result.issued,
+  // have resolved exactly once as completed, failed, or abandoned — under
+  // arbitrary fault schedules and retry policies.
+  QP_CHECK(result.completed + result.failed + result.abandoned == result.issued,
            "run_engine: windowed request accounting does not balance");
+  result.unavailability =
+      result.issued == 0
+          ? 0.0
+          : static_cast<double>(result.failed + result.abandoned) /
+                static_cast<double>(result.issued);
   const double inv_reps = 1.0 / static_cast<double>(config.replications);
   for (double& utilization : result.site_utilization) utilization *= inv_reps;
   result.peak_utilization =
@@ -294,6 +461,11 @@ EngineResult run_engine(const net::LatencyMatrix& matrix,
     result.p50_ms = common::percentile_sorted(pooled, 50.0);
     result.p95_ms = common::percentile_sorted(pooled, 95.0);
     result.p99_ms = common::percentile_sorted(pooled, 99.0);
+  }
+  degraded.insert(degraded.end(), pooled.begin(), pooled.end());
+  if (!degraded.empty()) {
+    std::sort(degraded.begin(), degraded.end());
+    result.degraded_p99_ms = common::percentile_sorted(degraded, 99.0);
   }
   result.replications = std::move(replications);
   return result;

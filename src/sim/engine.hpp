@@ -9,7 +9,16 @@
 // f(u) after rtt/2, waits in the site's FIFO queue (optionally finite:
 // overflow is dropped), is served for a deterministic or exponential
 // service time by the single server core, and the reply takes another
-// rtt/2. Scheduled ServerOutages drop messages arriving in their window.
+// rtt/2. Scheduled ServerOutages (hand-written or compiled by
+// sim/fault's FaultInjector) drop messages arriving in their window.
+//
+// With the retry machinery enabled (EngineConfig::retry, sim/retry.hpp)
+// the engine also models request recovery: per-attempt timeouts, bounded
+// retries with exponential backoff + deterministic jitter, and failover
+// quorum re-choice that penalizes suspected-down sites (FailoverMode), with
+// accounting such that issued == completed + failed + abandoned holds under
+// arbitrary fault schedules. Disabled (the default), behavior and rng
+// consumption are bitwise identical to the pre-retry engine.
 //
 // Where the analytic layer evaluates max_u(d(v, f(u)) + alpha * load) in
 // closed form, the engine realizes the same system as a stochastic process,
@@ -40,6 +49,7 @@
 #include "net/latency_matrix.hpp"
 #include "quorum/quorum_system.hpp"
 #include "sim/arrivals.hpp"
+#include "sim/retry.hpp"
 #include "sim/service_queue.hpp"
 
 namespace qp::sim {
@@ -47,6 +57,20 @@ namespace qp::sim {
 enum class ServiceModel { Deterministic, Exponential };
 
 enum class EngineStrategy { Closest, Balanced, Explicit };
+
+/// How attempts re-choose their quorum when the retry machinery is on:
+///  * None      — every attempt draws from the configured strategy;
+///  * Suspicion — retries take the minimum-RTT quorum with suspected-down
+///                sites (non-repliers of timed-out attempts, expiring after
+///                suspicion_ttl_ms) penalized behind live ones; the first
+///                attempt still uses the configured strategy;
+///  * Oracle    — every attempt takes the minimum-RTT quorum with sites the
+///                outage schedule marks down *right now* penalized — a
+///                perfect failure detector, the simulation twin of the
+///                analytic closest-live re-choice in
+///                core::FailureAwareObjective (eval/sim_validation pins the
+///                two against each other).
+enum class FailoverMode { None, Suspicion, Oracle };
 
 struct EngineConfig {
   double service_time_ms = 1.0;
@@ -73,6 +97,18 @@ struct EngineConfig {
 
   std::vector<ServerOutage> outages;
 
+  /// Request-recovery machinery. Disabled (the default) reproduces the
+  /// pre-retry semantics bitwise: a message lost to an outage or overflow
+  /// fails its request immediately. Enabled, lost messages vanish silently;
+  /// each attempt arms a timeout, expired attempts retry (bounded by
+  /// max_attempts, after exponential backoff with deterministic jitter),
+  /// and requests that exhaust their attempts count as `abandoned`.
+  RetryPolicy retry{};
+  /// Failover quorum re-choice; anything but None requires retry.enabled().
+  FailoverMode failover = FailoverMode::None;
+  /// Suspicion expiry for FailoverMode::Suspicion.
+  double suspicion_ttl_ms = 2'000.0;
+
   /// Pool for the replication fan-out; nullptr = the shared global pool.
   common::ThreadPool* pool = nullptr;
 };
@@ -89,8 +125,23 @@ struct ReplicationResult {
   std::size_t issued = 0;     // Requests issued inside the window.
   std::size_t completed = 0;  // ... of which all replies arrived.
   std::size_t failed = 0;     // ... of which lost a message to an outage/overflow.
+  /// ... of which exhausted retry.max_attempts (retry machinery only; a
+  /// windowed request is exactly one of completed / failed / abandoned).
+  std::size_t abandoned = 0;
   std::size_t dropped_messages = 0;    // All outage drops, windowed or not.
   std::size_t rejected_arrivals = 0;   // All finite-queue overflows.
+  std::size_t retries = 0;             // Retry attempts issued (beyond each first).
+  std::size_t stale_replies = 0;       // Replies that outlived their attempt.
+  /// Issue-to-completion of requests that needed more than one attempt
+  /// (time-to-success through the retry path); subset of `response`.
+  common::RunningStats retried_response;
+  /// (failed + abandoned) / issued — the measured per-window fraction of
+  /// requests that never got a full quorum of replies.
+  double unavailability = 0.0;
+  /// Give-up wall-clock (issue to last timeout / lost reply) of every
+  /// windowed request that was never served — failed + abandoned — the
+  /// degraded-mode twin of `response_samples`.
+  std::vector<double> unserved_wait_ms;
   /// Response samples (completed, windowed), in completion order — kept for
   /// pooled percentiles and distribution checks.
   std::vector<double> response_samples;
@@ -102,14 +153,25 @@ struct EngineResult {
   double p50_ms = 0.0;  // Pooled across replications.
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// p99 over served AND unserved windowed requests, the latter scored at
+  /// their give-up wall-clock. `p99_ms` alone has survivorship bias under
+  /// faults: a placement that abandons every storm-time request drops them
+  /// from the percentile entirely and can look *faster* than one that keeps
+  /// serving through retries. Equals `p99_ms` when nothing fails.
+  double degraded_p99_ms = 0.0;
   common::RunningStats response;           // Merged across replications.
   std::vector<double> site_utilization;    // Mean across replications.
   double peak_utilization = 0.0;           // Busiest site's mean utilization.
   std::size_t issued = 0;
   std::size_t completed = 0;
   std::size_t failed = 0;
+  std::size_t abandoned = 0;
   std::size_t dropped_messages = 0;
   std::size_t rejected_arrivals = 0;
+  std::size_t retries = 0;
+  std::size_t stale_replies = 0;
+  common::RunningStats retried_response;  // Merged across replications.
+  double unavailability = 0.0;            // (failed + abandoned) / issued.
   std::vector<ReplicationResult> replications;
 };
 

@@ -47,9 +47,8 @@ class Simulator {
       throw std::invalid_argument{
           "protocol_sim: outages require a positive request_timeout_ms"};
     }
-    if (config_.max_attempts == 0) {
-      throw std::invalid_argument{"protocol_sim: max_attempts must be >= 1"};
-    }
+    retry_ = config_.retry_policy();
+    retry_.validate();  // Shared policy checks (max_attempts >= 1, ...).
     outages_ = OutageSchedule{config_.outages, matrix_.size()};
     end_of_issue_ = config_.warmup_ms + config_.duration_ms;
     // Unbounded FIFO stations (capacity 0): identical arithmetic to the
@@ -134,8 +133,8 @@ class Simulator {
       });
     }
     if (!is_retry) client.request_network_delay = max_rtt;
-    if (config_.request_timeout_ms > 0.0) {
-      queue_.schedule(now + config_.request_timeout_ms,
+    if (retry_.enabled()) {
+      queue_.schedule(now + retry_.timeout_ms,
                       [this, c, attempt] { timeout(c, attempt); });
     }
   }
@@ -169,10 +168,18 @@ class Simulator {
 
   void timeout(std::size_t c, std::uint64_t attempt) {
     Client& client = clients_[c];
-    if (attempt != client.attempt) return;  // The attempt already completed.
-    if (client.replies_pending == 0) return;
-    if (client.attempts_used >= config_.max_attempts) {
+    // Stale-timeout discard: a completed attempt either bumped the tag (the
+    // next start_attempt) or — for the last request before end-of-window —
+    // left the tag with no replies pending. Neither may count as a retry.
+    if (attempt != client.attempt || client.replies_pending == 0) return;
+    if (client.attempts_used >= retry_.max_attempts) {
       ++failed_requests_;
+      // Kill the abandoned attempt's tag: stragglers still in flight must
+      // be discarded by reply(), not complete (and double-count) a request
+      // already recorded as failed — reachable when issue() below hits
+      // end-of-window and therefore never bumps the tag itself.
+      ++client.attempt;
+      client.replies_pending = 0;
       issue(c);  // Give up on this request; move on.
       return;
     }
@@ -184,6 +191,7 @@ class Simulator {
   const quorum::QuorumSystem& system_;
   const core::Placement& placement_;
   ProtocolSimConfig config_;
+  RetryPolicy retry_;  // config_'s timeout knobs as the shared policy.
   common::Rng rng_;
 
   EventQueue queue_;

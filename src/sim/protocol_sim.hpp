@@ -21,10 +21,18 @@
 #include "core/placement.hpp"
 #include "net/latency_matrix.hpp"
 #include "quorum/quorum_system.hpp"
+#include "sim/retry.hpp"          // RetryPolicy (shared with sim/engine).
 #include "sim/service_queue.hpp"  // ServerOutage (shared with sim/engine).
 
 namespace qp::sim {
 
+// NOTE: this simulator is the bitwise-pinned compatibility layer for the
+// paper's §3 closed-loop experiments; its retry/timeout machinery has been
+// generalized into sim/retry.hpp + sim/engine (per-attempt timeouts,
+// backoff, failover re-choice, full fault accounting). New fault-tolerance
+// work belongs there; this adapter keeps the historical event arithmetic
+// (immediate retries on a fresh random quorum) exactly as the fig3 benches
+// recorded it.
 struct ProtocolSimConfig {
   double service_time_ms = 1.0;   // §3: "processing delay per request ... 1 ms".
   /// Additional CPU time a server spends per arriving message (unmarshal,
@@ -52,6 +60,16 @@ struct ProtocolSimConfig {
   /// A request is abandoned (counted in failed_requests) after this many
   /// attempts.
   std::size_t max_attempts = 10;
+
+  /// The timeout/attempt knobs above as the shared policy type (immediate
+  /// retries: the closed-loop client re-issues the moment it gives up on an
+  /// attempt, the pinned historical behavior).
+  [[nodiscard]] RetryPolicy retry_policy() const noexcept {
+    RetryPolicy policy;
+    policy.timeout_ms = request_timeout_ms;
+    policy.max_attempts = max_attempts;
+    return policy;
+  }
 };
 
 struct ProtocolSimResult {

@@ -1,0 +1,38 @@
+#include "sim/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qp::sim {
+
+void RetryPolicy::validate() const {
+  if (timeout_ms < 0.0 || !std::isfinite(timeout_ms)) {
+    throw std::invalid_argument{"RetryPolicy: timeout_ms must be finite and >= 0"};
+  }
+  if (max_attempts == 0) {
+    throw std::invalid_argument{"RetryPolicy: max_attempts must be >= 1"};
+  }
+  if (backoff_base_ms < 0.0 || !std::isfinite(backoff_base_ms) ||
+      backoff_max_ms < 0.0 || !std::isfinite(backoff_max_ms)) {
+    throw std::invalid_argument{"RetryPolicy: backoff bounds must be finite and >= 0"};
+  }
+  if (!(jitter_frac >= 0.0) || !(jitter_frac <= 1.0)) {
+    throw std::invalid_argument{"RetryPolicy: jitter_frac must be in [0, 1]"};
+  }
+}
+
+double RetryPolicy::backoff_delay(std::size_t attempts_used, common::Rng& rng) const {
+  if (backoff_base_ms <= 0.0 || attempts_used == 0) return 0.0;
+  // Exponential growth capped at backoff_max_ms; exponent by completed
+  // attempts, so the first retry waits the base delay.
+  double delay = backoff_base_ms;
+  for (std::size_t k = 1; k < attempts_used && delay < backoff_max_ms; ++k) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, backoff_max_ms);
+  if (jitter_frac > 0.0) delay += delay * jitter_frac * rng.uniform();
+  return delay;
+}
+
+}  // namespace qp::sim

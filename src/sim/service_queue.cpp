@@ -18,14 +18,46 @@ OutageSchedule::OutageSchedule(std::span<const ServerOutage> outages,
     }
     by_site_[outage.site].emplace_back(outage.start_ms, outage.end_ms);
   }
+  // Normalize each site to sorted, disjoint windows: overlapping and
+  // abutting ([a,b) + [b,c)) windows merge, so down_at can binary-search.
+  for (auto& windows : by_site_) {
+    std::sort(windows.begin(), windows.end());
+    std::size_t merged = 0;
+    for (const auto& window : windows) {
+      if (merged > 0 && window.first <= windows[merged - 1].second) {
+        windows[merged - 1].second = std::max(windows[merged - 1].second, window.second);
+      } else {
+        windows[merged++] = window;
+      }
+    }
+    windows.resize(merged);
+  }
 }
 
 bool OutageSchedule::down_at(std::size_t site, double time) const noexcept {
   if (by_site_.empty()) return false;
-  for (const auto& [start, end] : by_site_[site]) {
-    if (time >= start && time < end) return true;
+  const auto& windows = by_site_[site];
+  // The only window that can cover `time` is the last one starting at or
+  // before it (windows are disjoint and ascending).
+  const auto after = std::upper_bound(
+      windows.begin(), windows.end(), time,
+      [](double t, const std::pair<double, double>& w) { return t < w.first; });
+  return after != windows.begin() && std::prev(after)->second > time;
+}
+
+std::span<const std::pair<double, double>> OutageSchedule::windows(
+    std::size_t site) const noexcept {
+  if (site >= by_site_.size()) return {};
+  return by_site_[site];
+}
+
+double OutageSchedule::down_time(std::size_t site, double from_ms,
+                                 double to_ms) const noexcept {
+  double total = 0.0;
+  for (const auto& [start, end] : windows(site)) {
+    total += std::max(0.0, std::min(end, to_ms) - std::max(start, from_ms));
   }
-  return false;
+  return total;
 }
 
 ServiceStation::ServiceStation(double window_start, double window_end,

@@ -32,6 +32,14 @@ struct ServerOutage {
 /// Per-site outage windows, validated once at construction. Queued work
 /// survives an outage (the crash model drops arriving messages only), so
 /// a site drains its backlog during its window and resumes afterwards.
+///
+/// Windows are sorted and merged per site at construction (overlapping and
+/// abutting windows coalesce — [a, b) followed by [b, c) is one down
+/// interval [a, c) under the half-open drop semantics), so down_at is a
+/// binary search over disjoint intervals: fault-injected schedules carry
+/// hundreds of windows per site and down_at sits on the per-message hot
+/// path. The schedule doubles as the live up/down oracle of the engine's
+/// oracle-failover mode and the FaultInjector's compiled output.
 class OutageSchedule {
  public:
   OutageSchedule() = default;
@@ -41,6 +49,14 @@ class OutageSchedule {
 
   [[nodiscard]] bool empty() const noexcept { return by_site_.empty(); }
   [[nodiscard]] bool down_at(std::size_t site, double time) const noexcept;
+
+  /// The merged, disjoint, strictly ascending down windows of `site` (empty
+  /// when the site never fails). Exposed for tests and schedule statistics.
+  [[nodiscard]] std::span<const std::pair<double, double>> windows(
+      std::size_t site) const noexcept;
+  /// Total down time of `site` overlapping [from_ms, to_ms).
+  [[nodiscard]] double down_time(std::size_t site, double from_ms,
+                                 double to_ms) const noexcept;
 
  private:
   std::vector<std::vector<std::pair<double, double>>> by_site_;

@@ -136,6 +136,34 @@ TEST(FailureInjection, ConfigValidation) {
                std::invalid_argument);
 }
 
+TEST(FailureInjection, StaleTimeoutAfterCompletionDoesNotRetry) {
+  // Regression: a timeout event firing after its request already completed
+  // (or moved on) must be discarded, not counted as a retry. With the
+  // timeout set beyond the slowest observed response, a healthy run must be
+  // bitwise identical to a run with timeouts effectively disabled — the old
+  // accounting resurrected the last pre-drain request of every client when
+  // its stale timeout fired after the issue window closed.
+  const Fixture f;
+  ProtocolSimConfig relaxed = base_config();
+  relaxed.request_timeout_ms = 60'000.0;  // Never fires before completion.
+  const auto baseline =
+      run_protocol_sim(f.matrix, f.system, f.placement, f.clients, relaxed);
+  ASSERT_EQ(baseline.total_retries, 0u);
+  ASSERT_EQ(baseline.failed_requests, 0u);
+
+  ProtocolSimConfig timed = base_config();
+  // Tight but safe: above every completed response of the baseline, so a
+  // correct simulator never times out — yet every completion leaves a
+  // pending timeout event behind to tempt the stale-event accounting.
+  timed.request_timeout_ms = baseline.response_stats.max() * 2.0 + 1.0;
+  const auto result =
+      run_protocol_sim(f.matrix, f.system, f.placement, f.clients, timed);
+  EXPECT_EQ(result.total_retries, 0u);
+  EXPECT_EQ(result.failed_requests, 0u);
+  EXPECT_EQ(result.completed_requests, baseline.completed_requests);
+  EXPECT_DOUBLE_EQ(result.avg_response_ms, baseline.avg_response_ms);
+}
+
 TEST(FailureInjection, DeterministicUnderFailures) {
   const Fixture f;
   ProtocolSimConfig config = base_config();

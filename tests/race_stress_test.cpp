@@ -34,6 +34,7 @@
 #include "net/synthetic.hpp"
 #include "quorum/majority.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace {
 
@@ -233,6 +234,57 @@ TEST(RaceStress, EngineFanOutBitIdenticalAcrossThreadCounts) {
     for (std::size_t w = 0; w < result.site_utilization.size(); ++w) {
       EXPECT_EQ(result.site_utilization[w], expected.site_utilization[w])
           << threads << " site " << w;
+    }
+  }
+}
+
+TEST(RaceStress, EngineFaultRetryFailoverBitIdenticalAcrossThreadCounts) {
+  // The retry/failover layer adds rng draws (backoff jitter) and per-attempt
+  // state on top of the fan-out; with a dense injected fault schedule the
+  // whole recovery pipeline — timeouts, suspicion, re-choice, abandonment —
+  // must still reduce bit-identically for any thread count.
+  const qp::net::LatencyMatrix matrix = qp::net::small_synth(9, /*seed=*/21);
+  const qp::quorum::MajorityQuorum system{9, 5};
+  const qp::core::Placement placement = identity_placement(9);
+  const std::vector<double> rates(9, 0.08);
+  qp::sim::EngineConfig base = stress_engine_config();
+  qp::sim::FaultInjectorConfig fault;
+  fault.seed = 0xfa17'5eedULL;
+  fault.horizon_ms = base.warmup_ms + base.duration_ms;
+  fault.site = qp::sim::FaultProcess::for_down_probability(0.25, 30.0);
+  base.outages = qp::sim::FaultInjector{fault}.schedule(9);
+  base.retry.timeout_ms = 60.0;
+  base.retry.max_attempts = 3;
+  base.retry.backoff_base_ms = 5.0;
+  base.retry.jitter_frac = 0.5;
+
+  for (qp::sim::FailoverMode mode :
+       {qp::sim::FailoverMode::Suspicion, qp::sim::FailoverMode::Oracle}) {
+    base.failover = mode;
+    qp::sim::EngineConfig serial = base;
+    qp::common::ThreadPool reference_pool{1};
+    serial.pool = &reference_pool;
+    const qp::sim::EngineResult expected =
+        qp::sim::run_engine(matrix, system, placement, rates, serial);
+    EXPECT_GT(expected.retries, 0u);
+
+    for (std::size_t threads : {2u, 4u, 8u, 16u}) {
+      qp::common::ThreadPool pool{threads};
+      qp::sim::EngineConfig config = base;
+      config.pool = &pool;
+      const qp::sim::EngineResult result =
+          qp::sim::run_engine(matrix, system, placement, rates, config);
+      EXPECT_EQ(result.mean_response_ms, expected.mean_response_ms) << threads;
+      EXPECT_EQ(result.p99_ms, expected.p99_ms) << threads;
+      EXPECT_EQ(result.degraded_p99_ms, expected.degraded_p99_ms) << threads;
+      EXPECT_EQ(result.completed, expected.completed) << threads;
+      EXPECT_EQ(result.failed, expected.failed) << threads;
+      EXPECT_EQ(result.abandoned, expected.abandoned) << threads;
+      EXPECT_EQ(result.retries, expected.retries) << threads;
+      EXPECT_EQ(result.stale_replies, expected.stale_replies) << threads;
+      EXPECT_EQ(result.unavailability, expected.unavailability) << threads;
+      EXPECT_EQ(result.retried_response.mean(), expected.retried_response.mean())
+          << threads;
     }
   }
 }
