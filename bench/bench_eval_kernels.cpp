@@ -37,14 +37,17 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/simd_kernels.hpp"
+#include "core/client_index.hpp"
 #include "core/delta_eval.hpp"
 #include "core/eval_workspace.hpp"
 #include "core/local_search.hpp"
 #include "core/objective.hpp"
 #include "core/placement.hpp"
+#include "net/knn_index.hpp"
 #include "net/synthetic.hpp"
 #include "quorum/grid.hpp"
 #include "quorum/majority.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
@@ -279,9 +282,68 @@ int main(int argc, char** argv) {
         });
   }
 
+  // --- The closest-strategy candidate-scan hotspot, before/after: on
+  // synthetic-500, objective_if_moved repriced every client's chosen quorum
+  // per candidate (~68us). Attaching the ClientCandidateIndex routes the
+  // candidate through the site->clients inverted lists instead, touching
+  // only the clients whose choice the move can flip or whose loads it
+  // shifts. The "after" row is the capped-64 production configuration the
+  // 10k-50k searches run. At n=500 the constant-factor gain is small
+  // (~57-64us vs ~60-65us scan: the grid-cell argmin reprice dominates
+  // both paths at this size) — the genuine win is asymptotic, per-move
+  // cost k*O(n) instead of O(n^2); bench_large_topology's scaling table is
+  // the figure. The _exact row is the uncapped parity mode (same doubles
+  // as the scan, audited at level 2) whose coverage lists stay nearly
+  // dense while the placement is poor — correctness, not speed.
+  {
+    auto scenario = std::make_shared<sim::Scenario>(sim::synthetic500_scenario());
+    auto grid500 = std::make_shared<quorum::GridQuorum>(7);
+    auto closest500 =
+        std::make_shared<core::ClosestStrategyObjective>(scenario->closest_objective());
+    auto placement500 = std::make_shared<core::Placement>(
+        core::best_grid_placement(scenario->matrix, 7).placement);
+    benchmark::RegisterBenchmark(
+        "EvalKernels/closest_candidate_scan/synth500",
+        [scenario, grid500, closest500, placement500](benchmark::State& state) {
+          const core::DeltaEvaluator eval{scenario->matrix, *grid500, *placement500,
+                                          *closest500};
+          std::size_t site = 0;
+          std::size_t element = 0;
+          for (auto _ : state) {
+            site = (site + 1) % scenario->matrix.size();
+            element = (element + 1) % placement500->universe_size();
+            benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+          }
+        });
+    for (const std::size_t cap : {std::size_t{64}, std::size_t{0}}) {
+      const std::string name = cap == 0 ? "EvalKernels/closest_candidate_indexed_exact/synth500"
+                                        : "EvalKernels/closest_candidate_indexed/synth500";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [scenario, grid500, closest500, placement500, cap](benchmark::State& state) {
+            core::DeltaEvaluator eval{scenario->matrix, *grid500, *placement500,
+                                      *closest500};
+            const net::KnnIndex knn{scenario->matrix};
+            core::ClientCandidateIndex::Config config;
+            config.cap = cap;
+            const core::ClientCandidateIndex index = core::ClientCandidateIndex::build(
+                scenario->matrix, &knn, eval.best_values(), config);
+            eval.attach_candidate_index(&index);
+            std::size_t site = 0;
+            std::size_t element = 0;
+            for (auto _ : state) {
+              site = (site + 1) % scenario->matrix.size();
+              element = (element + 1) % placement500->universe_size();
+              benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+            }
+          });
+    }
+  }
+
   // --- The fill_element_distances gather (scalar on baseline x86-64,
-  // vpgatherqpd under ENABLE_AVX2). The avx2 counter records the variant, so
-  // the two builds' rows land side by side after merge_shards.py. n = 49 is
+  // 4-lane vpgatherqpd under ENABLE_AVX2, 8-lane masked under
+  // ENABLE_AVX512). The avx2/avx512 counters record the variant, so the
+  // builds' rows land side by side after merge_shards.py. n = 49 is
   // the paper's largest universe; n = 2048 is a many-to-one stress shape.
   for (const std::size_t universe : {std::size_t{49}, std::size_t{2048}}) {
     common::Rng gather_rng{universe};
@@ -304,6 +366,11 @@ int main(int argc, char** argv) {
           state.counters["avx2"] = 1.0;
 #else
           state.counters["avx2"] = 0.0;
+#endif
+#if defined(__AVX512F__)
+          state.counters["avx512"] = 1.0;
+#else
+          state.counters["avx512"] = 0.0;
 #endif
         });
   }

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/simd_kernels.hpp"
+#include "core/client_index.hpp"
 #include "quorum/grid.hpp"
 #include "quorum/majority.hpp"
 
@@ -48,21 +49,22 @@ void for_each_grid_element(std::size_t k, std::size_t r, std::size_t c, Fn&& fn)
 
 }  // namespace
 
-DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
+DeltaEvaluator::DeltaEvaluator(const net::LatencySpace& space,
                                const quorum::QuorumSystem& system,
                                const Placement& placement, const Objective& objective)
-    : matrix_(&matrix),
+    : space_(&space),
+      matrix_(space.as_matrix()),
       system_(&system),
       objective_(&objective),
       placement_(placement),
       mode_(Mode::Recompute) {
-  placement_.validate(matrix.size());
+  placement_.validate(space.size());
   if (!objective.supports_delta()) {
     throw std::invalid_argument{
         "DeltaEvaluator: objective does not support incremental evaluation "
         "(use LocalSearchEngine::Naive / full re-evaluation)"};
   }
-  clients_ = matrix.size();
+  clients_ = space.size();
   n_ = placement_.universe_size();
   if (n_ != system.universe_size()) {
     throw std::invalid_argument{"DeltaEvaluator: placement size != universe size"};
@@ -116,10 +118,10 @@ DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
   rebuild();
 }
 
-DeltaEvaluator::DeltaEvaluator(const net::LatencyMatrix& matrix,
+DeltaEvaluator::DeltaEvaluator(const net::LatencySpace& space,
                                const quorum::QuorumSystem& system,
                                const Placement& placement)
-    : DeltaEvaluator(matrix, system, placement, network_delay_objective()) {}
+    : DeltaEvaluator(space, system, placement, network_delay_objective()) {}
 
 double DeltaEvaluator::objective() const noexcept {
   return client_weight_.empty() ? base_total_ / static_cast<double>(clients_)
@@ -131,14 +133,10 @@ double DeltaEvaluator::charge_weight(std::size_t v) const noexcept {
 }
 
 void DeltaEvaluator::gather_values(std::size_t v, double* out) const {
-  const std::vector<double>& rtt = matrix_->row(v);
-  if (!load_aware_) {
-    for (std::size_t u = 0; u < n_; ++u) out[u] = rtt[placement_.site_of[u]];
-    return;
-  }
+  space_->fill_rtts(v, placement_.site_of.data(), n_, out);
+  if (!load_aware_) return;
   for (std::size_t u = 0; u < n_; ++u) {
-    const std::size_t site = placement_.site_of[u];
-    out[u] = rtt[site] + site_term_[site];
+    out[u] += site_term_[placement_.site_of[u]];
   }
 }
 
@@ -223,13 +221,13 @@ void DeltaEvaluator::rebuild() {
   if (load_aware_) {
     // Per-site load tables, recomputed from scratch so drift cannot
     // accumulate across moves.
-    site_load_.assign(matrix_->size(), 0.0);
-    hosted_count_.assign(matrix_->size(), 0);
+    site_load_.assign(clients_, 0.0);
+    hosted_count_.assign(clients_, 0);
     for (std::size_t u = 0; u < n_; ++u) {
       site_load_[placement_.site_of[u]] += lambda_[u];
       ++hosted_count_[placement_.site_of[u]];
     }
-    site_term_.resize(matrix_->size());
+    site_term_.resize(clients_);
     for (std::size_t w = 0; w < site_term_.size(); ++w) {
       site_term_[w] = alpha_ * site_load_[w];
     }
@@ -344,9 +342,8 @@ void DeltaEvaluator::repair_single(std::size_t element, std::size_t site,
   switch (mode_) {
     case Mode::SortedWeights: {
       for (std::size_t v = 0; v < clients_; ++v) {
-        const std::vector<double>& rtt = matrix_->row(v);
-        const double old_value = rtt[old_site] + old_add;
-        const double new_value = rtt[site] + new_add;
+        const double old_value = site_rtt(v, old_site) + old_add;
+        const double new_value = site_rtt(v, site) + new_add;
         double* y = sorted_.data() + v * n_;
         double* end = y + n_;
         // Remove the (bit-exact) old value, insert the new one: the row's
@@ -369,7 +366,7 @@ void DeltaEvaluator::repair_single(std::size_t element, std::size_t site,
       const std::size_t r0 = element / k;
       const std::size_t c0 = element % k;
       for (std::size_t v = 0; v < clients_; ++v) {
-        values_[v * n_ + element] = matrix_->row(v)[site] + new_add;
+        values_[v * n_ + element] = site_rtt(v, site) + new_add;
         repair_grid_client_tables(v, r0, c0);
         rebuild_grid_client_sums(v);
         base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) *
@@ -381,7 +378,7 @@ void DeltaEvaluator::repair_single(std::size_t element, std::size_t site,
       const std::size_t count = quorums_.size();
       for (std::size_t v = 0; v < clients_; ++v) {
         double* vals = values_.data() + v * n_;
-        vals[element] = matrix_->row(v)[site] + new_add;
+        vals[element] = site_rtt(v, site) + new_add;
         double* qmax = quorum_max_.data() + v * count;
         for (std::size_t l : incident_[element]) {
           double worst = -std::numeric_limits<double>::infinity();
@@ -400,7 +397,7 @@ void DeltaEvaluator::repair_single(std::size_t element, std::size_t site,
       std::vector<double> scratch;
       for (std::size_t v = 0; v < clients_; ++v) {
         double* vals = values_.data() + v * n_;
-        vals[element] = matrix_->row(v)[site] + new_add;
+        vals[element] = site_rtt(v, site) + new_add;
         const double expectation = system_->expected_max_uniform_scratch(
             std::span<const double>{vals, n_}, scratch);
         client_sum_[v] = expectation;
@@ -449,19 +446,19 @@ double DeltaEvaluator::objective_if_moved_general(std::size_t element,
   // safe under a parallel neighborhood scan.
   const std::size_t old_site = placement_.site_of[element];
   static thread_local std::vector<double> tl_term;
+  static thread_local std::vector<std::size_t> tl_sites;
   static thread_local std::vector<double> tl_values;
   static thread_local std::vector<double> tl_scratch;
   tl_term.assign(site_term_.begin(), site_term_.end());
   tl_term[old_site] = alpha_ * (site_load_[old_site] - lambda_[element]);
   tl_term[site] = alpha_ * (site_load_[site] + lambda_[element]);
+  tl_sites.assign(placement_.site_of.begin(), placement_.site_of.end());
+  tl_sites[element] = site;
   tl_values.resize(n_);
   double total = 0.0;
   for (std::size_t v = 0; v < clients_; ++v) {
-    const std::vector<double>& rtt = matrix_->row(v);
-    for (std::size_t u = 0; u < n_; ++u) {
-      const std::size_t s = u == element ? site : placement_.site_of[u];
-      tl_values[u] = rtt[s] + tl_term[s];
-    }
+    space_->fill_rtts(v, tl_sites.data(), n_, tl_values.data());
+    for (std::size_t u = 0; u < n_; ++u) tl_values[u] += tl_term[tl_sites[u]];
     const double expectation = system_->expected_max_uniform_scratch(tl_values, tl_scratch);
     total += (client_weight_.empty() ? 1.0 : client_weight_[v]) * expectation;
   }
@@ -470,10 +467,13 @@ double DeltaEvaluator::objective_if_moved_general(std::size_t element,
 
 double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site) const {
   QP_CHECK(element < n_, "objective_if_moved: element out of range");
-  QP_CHECK(site < matrix_->size(), "objective_if_moved: site out of range");
+  QP_CHECK(site < clients_, "objective_if_moved: site out of range");
   const std::size_t old_site = placement_.site_of[element];
   if (site == old_site) return objective();
-  if (closest_) return closest_if_moved(element, site);
+  if (closest_) {
+    return candidate_index_ != nullptr ? closest_if_moved_indexed(element, site)
+                                       : closest_if_moved(element, site);
+  }
   // Per-coordinate additive load terms of the candidate values. The cached
   // tables answer single-coordinate moves only; a load-aware move touching a
   // co-hosted site perturbs other coordinates too and takes the general path.
@@ -490,10 +490,9 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
   switch (mode_) {
     case Mode::SortedWeights: {
       for (std::size_t v = 0; v < clients_; ++v) {
-        const std::vector<double>& rtt = matrix_->row(v);
         const double term =
-            client_sum_[v] +
-            client_delta_sorted(v, rtt[old_site] + old_add, rtt[site] + new_add);
+            client_sum_[v] + client_delta_sorted(v, site_rtt(v, old_site) + old_add,
+                                                 site_rtt(v, site) + new_add);
         total += (client_weight_.empty() ? 1.0 : client_weight_[v]) * term;
       }
       break;
@@ -503,7 +502,7 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
       const std::size_t r0 = element / k;
       const std::size_t c0 = element % k;
       for (std::size_t v = 0; v < clients_; ++v) {
-        const double val = matrix_->row(v)[site] + new_add;
+        const double val = site_rtt(v, site) + new_add;
         const double* rm = row_max_.data() + v * k;
         const double* cm = col_max_.data() + v * k;
         const double new_row = std::max(row_excl_[v * n_ + element], val);
@@ -530,7 +529,7 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
     case Mode::Enumerated: {
       const std::size_t count = quorums_.size();
       for (std::size_t v = 0; v < clients_; ++v) {
-        const double val = matrix_->row(v)[site] + new_add;
+        const double val = site_rtt(v, site) + new_add;
         const double* vals = values_.data() + v * n_;
         const double* qmax = quorum_max_.data() + v * count;
         double delta = 0.0;
@@ -554,7 +553,7 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
       for (std::size_t v = 0; v < clients_; ++v) {
         const double* vals = values_.data() + v * n_;
         tl_values.assign(vals, vals + n_);
-        tl_values[element] = matrix_->row(v)[site] + new_add;
+        tl_values[element] = site_rtt(v, site) + new_add;
         const double expectation =
             system_->expected_max_uniform_scratch(tl_values, tl_scratch);
         total += (client_weight_.empty() ? 1.0 : client_weight_[v]) * expectation;
@@ -619,9 +618,8 @@ void DeltaEvaluator::rebuild_closest() {
     in_best_.assign(clients_ * n_, 0);
   }
   for (std::size_t v = 0; v < clients_; ++v) {
-    const std::vector<double>& rtt = matrix_->row(v);
     double* vals = values_.data() + v * n_;
-    for (std::size_t u = 0; u < n_; ++u) vals[u] = rtt[placement_.site_of[u]];
+    space_->fill_rtts(v, placement_.site_of.data(), n_, vals);
     switch (mode_) {
       case Mode::ClosestMajority: {
         double* y = sorted_.data() + v * n_;
@@ -713,7 +711,7 @@ void DeltaEvaluator::rebuild_closest() {
 }
 
 void DeltaEvaluator::rebuild_closest_loads_and_rho() {
-  closest_load_.assign(matrix_->size(), 0.0);
+  closest_load_.assign(clients_, 0.0);
   for (std::size_t v = 0; v < clients_; ++v) {
     const double w = charge_weight(v);
     for (std::size_t e : chosen_quorum_[v]) {
@@ -730,6 +728,7 @@ void DeltaEvaluator::rebuild_closest_loads_and_rho() {
     client_sum_[v] = worst;
     base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) * worst;
   }
+  if (candidate_index_ != nullptr) rebuild_charge_index();
 }
 
 double DeltaEvaluator::closest_if_moved(std::size_t element, std::size_t site) const {
@@ -755,7 +754,7 @@ double DeltaEvaluator::closest_if_moved(std::size_t element, std::size_t site) c
   // Pass 1: classify every client's quorum choice (keep / keep-with-moved-u
   // / recompute) and accumulate the load deltas of the flips.
   for (std::size_t v = 0; v < clients_; ++v) {
-    const double d_new = matrix_->row(v)[site];
+    const double d_new = site_rtt(v, site);
     const bool contains_u = mode_ == Mode::ClosestGrid
                                 ? (chosen_row_[v] == r0 || chosen_col_[v] == c0)
                                 : in_best_[v * n_ + element] != 0;
@@ -825,7 +824,7 @@ double DeltaEvaluator::closest_if_moved(std::size_t element, std::size_t site) c
     if (tl_state[v] == 0 && !load) {
       response = client_sum_[v];  // Neither distances nor loads changed.
     } else {
-      const double d_new = matrix_->row(v)[site];
+      const double d_new = site_rtt(v, site);
       const double* vals = values_.data() + v * n_;
       const std::size_t* ids;
       std::size_t len;
@@ -864,7 +863,7 @@ void DeltaEvaluator::apply_move_closest(std::size_t element, std::size_t site) {
   for (std::size_t v = 0; v < clients_; ++v) {
     double* vals = values_.data() + v * n_;
     const double d_old = vals[element];
-    const double d_new = matrix_->row(v)[site];
+    const double d_new = site_rtt(v, site);
     const bool contains_u = mode_ == Mode::ClosestGrid
                                 ? (chosen_row_[v] == r0 || chosen_col_[v] == c0)
                                 : in_best_[v * n_ + element] != 0;
@@ -945,8 +944,256 @@ void DeltaEvaluator::apply_move_closest(std::size_t element, std::size_t site) {
   rebuild_closest_loads_and_rho();
 }
 
+void DeltaEvaluator::attach_candidate_index(const ClientCandidateIndex* index) {
+  if (index == nullptr) {
+    candidate_index_ = nullptr;
+    charge_offsets_.clear();
+    charge_clients_.clear();
+    overflow_clients_.clear();
+    return;
+  }
+  if (!closest_) {
+    throw std::invalid_argument{
+        "DeltaEvaluator: candidate indexes apply to closest-strategy objectives only"};
+  }
+  if (index->size() != clients_) {
+    throw std::invalid_argument{"DeltaEvaluator: candidate index size != site count"};
+  }
+  candidate_index_ = index;
+  rebuild_charge_index();
+}
+
+void DeltaEvaluator::rebuild_charge_index() {
+  // Site -> charging clients CSR from the current chosen quorums: counting
+  // pass, prefix offsets, fill in ascending client order (so each site's
+  // charger list is sorted and the enumeration order is deterministic).
+  charge_offsets_.assign(clients_ + 1, 0);
+  for (std::size_t v = 0; v < clients_; ++v) {
+    for (std::size_t e : chosen_quorum_[v]) {
+      ++charge_offsets_[placement_.site_of[e] + 1];
+    }
+  }
+  for (std::size_t s = 0; s < clients_; ++s) {
+    charge_offsets_[s + 1] += charge_offsets_[s];
+  }
+  charge_clients_.resize(charge_offsets_[clients_]);
+  std::vector<std::size_t> cursor(charge_offsets_.begin(), charge_offsets_.end() - 1);
+  for (std::size_t v = 0; v < clients_; ++v) {
+    for (std::size_t e : chosen_quorum_[v]) {
+      charge_clients_[cursor[placement_.site_of[e]]++] = v;
+    }
+  }
+  // Clients whose m1 outgrew their list's covered radius fall back to being
+  // classified on every candidate — that keeps uncapped evaluation exact as
+  // the placement drifts away from the radii the lists were built with.
+  // Capped indexes are openly approximate and skip the fallback (every
+  // far client would overflow, degenerating to the full scan).
+  overflow_clients_.clear();
+  if (!candidate_index_->capped()) {
+    for (std::size_t v = 0; v < clients_; ++v) {
+      if (best_value_[v] > candidate_index_->covered_radius(v)) {
+        overflow_clients_.push_back(v);
+      }
+    }
+  }
+}
+
+double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
+                                                std::size_t site) const {
+  // Epoch-marked sparse scratch: per-candidate state is only written for the
+  // clients/sites actually touched, so a candidate costs output-sensitive
+  // time — never an O(n) clear. Thread-local for the parallel scan.
+  struct Scratch {
+    std::uint64_t epoch = 0;
+    std::vector<std::uint64_t> client_mark;   // classified this epoch?
+    std::vector<std::uint8_t> client_state;   // valid when mark == epoch.
+    std::vector<std::size_t> flip_off;        // state 2: slice of `chosen`.
+    std::vector<std::size_t> flip_len;
+    std::vector<std::size_t> chosen;          // concatenated flip quorums.
+    std::vector<std::uint64_t> site_mark;     // load delta valid this epoch?
+    std::vector<double> load_delta;
+    std::vector<std::size_t> touched;         // sites with a load delta.
+    std::vector<std::uint64_t> reprice_mark;
+    std::vector<std::size_t> reprice;         // clients to reprice.
+    std::vector<double> row;                  // Enumerated: patched values.
+  };
+  static thread_local Scratch sc;
+  if (sc.client_mark.size() != clients_) {
+    sc.client_mark.assign(clients_, 0);
+    sc.client_state.assign(clients_, 0);
+    sc.flip_off.assign(clients_, 0);
+    sc.flip_len.assign(clients_, 0);
+    sc.site_mark.assign(clients_, 0);
+    sc.load_delta.assign(clients_, 0.0);
+    sc.reprice_mark.assign(clients_, 0);
+  }
+  ++sc.epoch;
+  sc.chosen.clear();
+  sc.touched.clear();
+  sc.reprice.clear();
+
+  const std::size_t old_site = placement_.site_of[element];
+  const bool load = alpha_ != 0.0;
+  const std::size_t k = side_;
+  const std::size_t r0 = mode_ == Mode::ClosestGrid ? element / k : 0;
+  const std::size_t c0 = mode_ == Mode::ClosestGrid ? element % k : 0;
+
+  const auto touch = [&](std::size_t s, double delta) {
+    if (sc.site_mark[s] != sc.epoch) {
+      sc.site_mark[s] = sc.epoch;
+      sc.load_delta[s] = 0.0;
+      sc.touched.push_back(s);
+    }
+    sc.load_delta[s] += delta;
+  };
+  const auto mark_reprice = [&](std::size_t v) {
+    if (sc.reprice_mark[v] != sc.epoch) {
+      sc.reprice_mark[v] = sc.epoch;
+      sc.reprice.push_back(v);
+    }
+  };
+
+  // Classification is the same keep / keep-with-moved-u / recompute logic as
+  // the full scan (closest_if_moved), applied only to clients that can flip.
+  const auto classify = [&](std::size_t v) {
+    if (sc.client_mark[v] == sc.epoch) return;
+    sc.client_mark[v] = sc.epoch;
+    sc.client_state[v] = 0;
+    const double d_new = site_rtt(v, site);
+    const bool contains_u = mode_ == Mode::ClosestGrid
+                                ? (chosen_row_[v] == r0 || chosen_col_[v] == c0)
+                                : in_best_[v * n_ + element] != 0;
+    if (!contains_u && d_new > best_value_[v]) return;  // Provably unchanged.
+    if (mode_ == Mode::ClosestMajority && contains_u &&
+        (majority_q_ == n_ || d_new < second_value_[v])) {
+      sc.client_state[v] = 1;
+      if (load) {
+        const double w = charge_weight(v);
+        touch(old_site, -w);
+        touch(site, w);
+      }
+      mark_reprice(v);
+      return;
+    }
+    sc.client_state[v] = 2;
+    sc.flip_off[v] = sc.chosen.size();
+    switch (mode_) {
+      case Mode::ClosestMajority:
+        majority_chosen_patched(v, element, d_new, sc.chosen);
+        break;
+      case Mode::ClosestGrid: {
+        const double* rm = row_max_.data() + v * k;
+        const double* cm = col_max_.data() + v * k;
+        const double nr = std::max(row_excl_[v * n_ + element], d_new);
+        const double nc = std::max(col_excl_[v * n_ + element], d_new);
+        std::size_t best = 0;
+        double best_max = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < k; ++r) {
+          const double rr = r == r0 ? nr : rm[r];
+          for (std::size_t c = 0; c < k; ++c) {
+            const double val = std::max(rr, c == c0 ? nc : cm[c]);
+            if (val < best_max) {
+              best_max = val;
+              best = r * k + c;
+            }
+          }
+        }
+        for_each_grid_element(k, best / k, best % k,
+                              [&](std::size_t e) { sc.chosen.push_back(e); });
+        break;
+      }
+      default: {  // ClosestEnumerated: Tree's DP tie-breaking is its own.
+        const double* vals = values_.data() + v * n_;
+        sc.row.assign(vals, vals + n_);
+        sc.row[element] = d_new;
+        const quorum::Quorum quorum = system_->best_quorum(sc.row);
+        sc.chosen.insert(sc.chosen.end(), quorum.begin(), quorum.end());
+        break;
+      }
+    }
+    sc.flip_len[v] = sc.chosen.size() - sc.flip_off[v];
+    if (load) {
+      const double w = charge_weight(v);
+      for (std::size_t e : chosen_quorum_[v]) touch(placement_.site_of[e], -w);
+      for (std::size_t i = sc.flip_off[v]; i < sc.chosen.size(); ++i) {
+        const std::size_t e = sc.chosen[i];
+        touch(e == element ? site : placement_.site_of[e], w);
+      }
+    }
+    mark_reprice(v);
+  };
+
+  // A flip needs u to leave (the client charges u's current site) or the
+  // new site to undercut m1 (the client's candidate list contains it, or
+  // the client overflowed its list) — see client_index.hpp for why this is
+  // exhaustive in the uncapped mode.
+  for (std::size_t i = charge_offsets_[old_site]; i < charge_offsets_[old_site + 1];
+       ++i) {
+    classify(charge_clients_[i]);
+  }
+  for (std::size_t v : candidate_index_->clients_of(site)) classify(v);
+  for (std::size_t v : overflow_clients_) classify(v);
+
+  // Clients charging a load-touched site reprice even when their choice is
+  // provably unchanged — the load term under their chosen quorum moved.
+  if (load) {
+    for (std::size_t s : sc.touched) {
+      for (std::size_t i = charge_offsets_[s]; i < charge_offsets_[s + 1]; ++i) {
+        mark_reprice(charge_clients_[i]);
+      }
+    }
+  }
+
+  // Reprice only the affected clients against the patched loads; everyone
+  // else contributes their cached response through base_total_.
+  double total = base_total_;
+  for (std::size_t v : sc.reprice) {
+    const double d_new = site_rtt(v, site);
+    const double* vals = values_.data() + v * n_;
+    const std::uint8_t state =
+        sc.client_mark[v] == sc.epoch ? sc.client_state[v] : std::uint8_t{0};
+    const std::size_t* ids;
+    std::size_t len;
+    if (state == 2) {
+      ids = sc.chosen.data() + sc.flip_off[v];
+      len = sc.flip_len[v];
+    } else {
+      ids = chosen_quorum_[v].data();
+      len = chosen_quorum_[v].size();
+    }
+    double worst = 0.0;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t e = ids[i];
+      const bool moved = e == element;
+      const double d = moved ? d_new : vals[e];
+      if (load) {
+        const std::size_t s = moved ? site : placement_.site_of[e];
+        const double site_load =
+            closest_load_[s] + (sc.site_mark[s] == sc.epoch ? sc.load_delta[s] : 0.0);
+        worst = std::max(worst, d + alpha_ * site_load);
+      } else {
+        worst = std::max(worst, d);
+      }
+    }
+    total += (client_weight_.empty() ? 1.0 : client_weight_[v]) *
+             (worst - client_sum_[v]);
+  }
+  const double result =
+      client_weight_.empty() ? total / static_cast<double>(clients_) : total;
+#if QP_PARITY_AUDIT_ENABLED
+  // Uncapped indexes promise exactness: audit every candidate against the
+  // retained full scan (capped indexes are openly approximate).
+  if (!candidate_index_->capped()) {
+    QP_PARITY_ASSERT(result, closest_if_moved(element, site), 1e-9,
+                     "closest_if_moved_indexed: sparse candidate evaluation diverged "
+                     "from the full client scan");
+  }
+#endif
+  return result;
+}
+
 void DeltaEvaluator::apply_move(std::size_t element, std::size_t site) {
-  if (element >= n_ || site >= matrix_->size()) {
+  if (element >= n_ || site >= clients_) {
     throw std::out_of_range{"DeltaEvaluator::apply_move: element or site out of range"};
   }
   const std::size_t old_site = placement_.site_of[element];
@@ -981,11 +1228,16 @@ void DeltaEvaluator::apply_move(std::size_t element, std::size_t site) {
 #if QP_PARITY_AUDIT_ENABLED
   // Parity against the naive objective: the repaired base must match a full
   // re-evaluation (summation order differs, hence the tolerance). Armed at
-  // QP_CHECK_LEVEL=2 (the asan preset), not by build type.
-  const double naive = objective_->evaluate(*matrix_, *system_, placement_);
-  QP_PARITY_ASSERT(objective(), naive, 1e-9,
-                   "apply_move: incrementally repaired objective diverged from a "
-                   "fresh evaluation of the moved placement");
+  // QP_CHECK_LEVEL=2 (the asan preset), not by build type. The canonical
+  // evaluator needs the dense table, so implicit spaces skip this audit
+  // (their candidate evaluation is audited against the full scan instead,
+  // see closest_if_moved_indexed).
+  if (matrix_ != nullptr) {
+    const double naive = objective_->evaluate(*matrix_, *system_, placement_);
+    QP_PARITY_ASSERT(objective(), naive, 1e-9,
+                     "apply_move: incrementally repaired objective diverged from a "
+                     "fresh evaluation of the moved placement");
+  }
 #endif
 }
 

@@ -74,20 +74,25 @@
 #include "core/objective.hpp"
 #include "core/placement.hpp"
 #include "net/latency_matrix.hpp"
+#include "net/latency_space.hpp"
 #include "quorum/quorum_system.hpp"
 
 namespace qp::core {
 
+class ClientCandidateIndex;
+
 class DeltaEvaluator {
  public:
-  /// Caches per-client state for `placement` under `objective`. The matrix,
+  /// Caches per-client state for `placement` under `objective`. The space,
   /// system, and objective must outlive the evaluator; the placement is
-  /// copied. The two-argument form evaluates pure network delay. Throws
-  /// std::invalid_argument for a closest-strategy objective on a system
-  /// that is neither Grid, Majority, nor enumerable.
-  DeltaEvaluator(const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+  /// copied. The space may be a dense LatencyMatrix or any implicit
+  /// LatencySpace (e.g. a LatencyEmbedding) — results are identical doubles
+  /// whenever the two agree pairwise. The two-argument form evaluates pure
+  /// network delay. Throws std::invalid_argument for a closest-strategy
+  /// objective on a system that is neither Grid, Majority, nor enumerable.
+  DeltaEvaluator(const net::LatencySpace& space, const quorum::QuorumSystem& system,
                  const Placement& placement, const Objective& objective);
-  DeltaEvaluator(const net::LatencyMatrix& matrix, const quorum::QuorumSystem& system,
+  DeltaEvaluator(const net::LatencySpace& space, const quorum::QuorumSystem& system,
                  const Placement& placement);
 
   [[nodiscard]] const Placement& placement() const noexcept { return placement_; }
@@ -106,6 +111,29 @@ class DeltaEvaluator {
   /// from the repaired tables, so drift cannot compound); colocating moves
   /// under a load-aware balanced objective fall back to a full rebuild.
   void apply_move(std::size_t element, std::size_t site);
+
+  /// True when the objective uses the closest access strategy (the modes
+  /// that can route candidate evaluation through a ClientCandidateIndex).
+  [[nodiscard]] bool closest_strategy() const noexcept { return closest_; }
+
+  /// Closest modes: the current per-client chosen-quorum network value m1 —
+  /// the coverage radii a ClientCandidateIndex should be built from. Empty
+  /// for balanced modes.
+  [[nodiscard]] std::span<const double> best_values() const noexcept {
+    return closest_ ? std::span<const double>{best_value_} : std::span<const double>{};
+  }
+
+  /// Routes closest-strategy candidate evaluation through `index` (null
+  /// detaches): objective_if_moved then touches only the clients that can
+  /// flip (charge index of the old site + inverted lists of the new site +
+  /// coverage overflow) and reprices only clients whose inputs changed,
+  /// instead of scanning all n clients. Exact for uncapped indexes (up to
+  /// FP summation order, audited at QP_CHECK_LEVEL >= 2 against the full
+  /// scan); approximate candidate ranking for capped ones (see
+  /// client_index.hpp). The index must be built over this evaluator's space
+  /// and outlive the evaluator (or the next attach). Throws
+  /// std::invalid_argument for balanced objectives or a size mismatch.
+  void attach_candidate_index(const ClientCandidateIndex* index);
 
  private:
   enum class Mode {
@@ -153,11 +181,26 @@ class DeltaEvaluator {
   void majority_chosen_patched(std::size_t v, std::size_t element, double patched,
                                std::vector<std::size_t>& out) const;
   [[nodiscard]] double closest_if_moved(std::size_t element, std::size_t site) const;
+  /// Sparse variant of closest_if_moved driven by candidate_index_ — see
+  /// attach_candidate_index.
+  [[nodiscard]] double closest_if_moved_indexed(std::size_t element,
+                                                std::size_t site) const;
   void apply_move_closest(std::size_t element, std::size_t site);
+  /// Rebuilds the site -> charging-clients CSR (and the coverage-overflow
+  /// set) from the current chosen quorums; called per accepted move while a
+  /// candidate index is attached.
+  void rebuild_charge_index();
   /// Per-client weight: demand share, or 1/|V| for the uniform objective.
   [[nodiscard]] double charge_weight(std::size_t v) const noexcept;
 
-  const net::LatencyMatrix* matrix_;
+  /// d(v, s) — dense row lookup when the space has a matrix, virtual
+  /// coordinate arithmetic otherwise.
+  [[nodiscard]] double site_rtt(std::size_t v, std::size_t s) const {
+    return matrix_ != nullptr ? matrix_->row(v)[s] : space_->rtt(v, s);
+  }
+
+  const net::LatencySpace* space_;
+  const net::LatencyMatrix* matrix_;  // space_->as_matrix(); null when implicit.
   const quorum::QuorumSystem* system_;
   const Objective* objective_;
   Placement placement_;
@@ -219,6 +262,15 @@ class DeltaEvaluator {
   std::vector<double> best_value_;              // m1: chosen quorum's network max.
   std::vector<double> second_value_;            // Majority: y[q] (+inf if q == n).
   std::vector<double> closest_load_;            // Weighted load_f per site.
+
+  // Sparse candidate evaluation (closest modes, optional): the attached
+  // per-client candidate lists, the site -> charging-clients CSR rebuilt per
+  // accepted move, and the clients whose m1 outgrew their list's covered
+  // radius (always checked, so uncapped evaluation stays exact).
+  const ClientCandidateIndex* candidate_index_ = nullptr;
+  std::vector<std::size_t> charge_offsets_;  // sites + 1.
+  std::vector<std::size_t> charge_clients_;  // concatenated charging clients.
+  std::vector<std::size_t> overflow_clients_;
 };
 
 }  // namespace qp::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/client_index.hpp"
 #include "core/delta_eval.hpp"
 
 namespace qp::core {
@@ -71,13 +72,45 @@ LocalSearchResult local_search_naive(const net::LatencyMatrix& matrix,
   return result;
 }
 
-LocalSearchResult local_search_delta(const net::LatencyMatrix& matrix,
+LocalSearchResult local_search_delta(const net::LatencySpace& space,
                                      const quorum::QuorumSystem& system,
                                      const Placement& initial, const Objective& objective,
                                      const LocalSearchOptions& options) {
-  DeltaEvaluator eval{matrix, system, initial, objective};
+  const net::LatencyMatrix* matrix = space.as_matrix();
+  DeltaEvaluator eval{space, system, initial, objective};
 
-  std::vector<bool> used(matrix.size(), false);
+  // Sparse candidate machinery: a k-NN index over the space (borrowed, or a
+  // brute-force one over the dense matrix), per-element target lists, and —
+  // for closest objectives — the client candidate index that makes each
+  // candidate's evaluation touch only affected clients.
+  const net::KnnIndex* knn = options.knn;
+  std::optional<net::KnnIndex> local_knn;
+  const bool need_knn =
+      options.candidate_knn > 0 || (options.client_index && eval.closest_strategy());
+  if (knn == nullptr && need_knn) {
+    if (matrix == nullptr) {
+      throw std::invalid_argument{
+          "local_search_placement: sparse candidate search over an implicit "
+          "LatencySpace requires LocalSearchOptions::knn"};
+    }
+    local_knn.emplace(*matrix);
+    knn = &*local_knn;
+  }
+  std::optional<ClientCandidateIndex> client_index;
+  if (options.client_index && eval.closest_strategy()) {
+    ClientCandidateIndex::Config config;
+    config.cap = options.client_index_cap;
+    if (config.cap == 0 && matrix == nullptr) {
+      // Implicit spaces default to capped lists: exact coverage of every
+      // client's m1 is O(n) per far client before the search tightens the
+      // placement (see client_index.hpp).
+      config.cap = std::max<std::size_t>(64, options.candidate_knn);
+    }
+    client_index = ClientCandidateIndex::build(space, knn, eval.best_values(), config);
+    eval.attach_candidate_index(&*client_index);
+  }
+
+  std::vector<bool> used(space.size(), false);
   for (std::size_t site : initial.site_of) used[site] = true;
 
   // threads == 1 runs serial; 0 shares the global pool; n > 1 gets its own.
@@ -95,12 +128,33 @@ LocalSearchResult local_search_delta(const net::LatencyMatrix& matrix,
   LocalSearchResult result;
   std::vector<Candidate> candidates;
   std::vector<double> objectives;
+  std::vector<net::KnnIndex::Neighbor> neighbors;
+  std::vector<std::size_t> targets;
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     const double current = eval.objective();
     candidates.clear();
-    for (std::size_t u = 0; u < eval.placement().universe_size(); ++u) {
-      for (std::size_t w = 0; w < matrix.size(); ++w) {
-        if (!used[w]) candidates.push_back(Candidate{u, w});
+    if (options.candidate_knn == 0) {
+      for (std::size_t u = 0; u < eval.placement().universe_size(); ++u) {
+        for (std::size_t w = 0; w < space.size(); ++w) {
+          if (!used[w]) candidates.push_back(Candidate{u, w});
+        }
+      }
+    } else {
+      // Per-element targets: the candidate_knn unused sites nearest the
+      // element's current site. Querying k + universe neighbors guarantees
+      // enough unused ones; targets are re-sorted by site id so the
+      // candidate order (and hence tie-breaking) matches the dense scan.
+      const std::size_t universe = eval.placement().universe_size();
+      const std::size_t query = std::min(space.size(), options.candidate_knn + universe);
+      for (std::size_t u = 0; u < universe; ++u) {
+        knn->nearest(eval.placement().site_of[u], query, neighbors);
+        targets.clear();
+        for (const auto& nb : neighbors) {
+          if (targets.size() == options.candidate_knn) break;
+          if (!used[nb.site]) targets.push_back(nb.site);
+        }
+        std::sort(targets.begin(), targets.end());
+        for (std::size_t w : targets) candidates.push_back(Candidate{u, w});
       }
     }
     objectives.resize(candidates.size());
@@ -155,18 +209,21 @@ LocalSearchResult local_search_delta(const net::LatencyMatrix& matrix,
   result.placement = eval.placement();
   // Final objective via the canonical evaluator, so callers comparing against
   // Objective::evaluate (or average_uniform_network_delay) see the exact
-  // same value.
-  result.objective = objective.evaluate(matrix, system, result.placement);
+  // same value. Implicit spaces report the incrementally maintained value
+  // (reaccumulated from repaired tables on every move, so drift-free).
+  result.objective = matrix != nullptr
+                         ? objective.evaluate(*matrix, system, result.placement)
+                         : eval.objective();
   return result;
 }
 
 }  // namespace
 
-LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
+LocalSearchResult local_search_placement(const net::LatencySpace& space,
                                          const quorum::QuorumSystem& system,
                                          const Placement& initial,
                                          const LocalSearchOptions& options) {
-  initial.validate(matrix.size());
+  initial.validate(space.size());
   if (!initial.one_to_one()) {
     throw std::invalid_argument{"local_search_placement: initial must be one-to-one"};
   }
@@ -176,9 +233,15 @@ LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
   // failure sets, see Objective::supports_delta) silently take the naive
   // full-re-evaluation path; results are engine-independent either way.
   if (options.engine == LocalSearchEngine::Naive || !objective.supports_delta()) {
-    return local_search_naive(matrix, system, initial, objective, options);
+    const net::LatencyMatrix* matrix = space.as_matrix();
+    if (matrix == nullptr) {
+      throw std::invalid_argument{
+          "local_search_placement: the Naive engine (and non-delta objectives) "
+          "require a dense LatencyMatrix"};
+    }
+    return local_search_naive(*matrix, system, initial, objective, options);
   }
-  return local_search_delta(matrix, system, initial, objective, options);
+  return local_search_delta(space, system, initial, objective, options);
 }
 
 }  // namespace qp::core

@@ -25,13 +25,22 @@
 //     The Delta engine evaluates fixed-size candidate blocks in parallel and
 //     accepts the lowest-index improvement, which is independent of the
 //     block size and thread count — deterministic.
+// Sparse candidate search (the 10k-50k-site regime): `candidate_knn`
+// restricts each element's relocation targets to the k sites nearest its
+// current site (via a net::KnnIndex), and closest-strategy objectives route
+// candidate evaluation through a ClientCandidateIndex so one candidate
+// touches only the clients it can affect. With candidate_knn == 0 and an
+// uncapped client index the search replays the dense exhaustive scan's
+// decisions exactly (same candidate order, evaluation equal up to FP
+// summation order) — the parity suites pin that on every n <= 500 config.
 #pragma once
 
 #include <cstddef>
 
 #include "core/objective.hpp"
 #include "core/placement.hpp"
-#include "net/latency_matrix.hpp"
+#include "net/knn_index.hpp"
+#include "net/latency_space.hpp"
 #include "quorum/quorum_system.hpp"
 
 namespace qp::core {
@@ -62,6 +71,27 @@ struct LocalSearchOptions {
   /// pool, 1 = fully serial, n > 1 = a dedicated pool of n threads.
   /// Bit-identical results for every setting. Ignored by the Naive engine.
   std::size_t threads = 0;
+  /// 0 scans every unused site per element (the historical dense scan);
+  /// k > 0 restricts each element's candidate targets to the k unused sites
+  /// nearest its current site (targets enumerated in ascending site order,
+  /// so k >= n reproduces the dense candidate list exactly). Delta engine
+  /// only.
+  std::size_t candidate_knn = 0;
+  /// k-NN index over the search space, used for candidate targets and for
+  /// building the client candidate lists. Optional when the space has a
+  /// dense matrix (a brute-force index is built on the fly); required with
+  /// candidate_knn > 0 or a closest objective on an implicit space. Must be
+  /// built over `space` and outlive the call.
+  const net::KnnIndex* knn = nullptr;
+  /// Closest-strategy objectives, Delta engine: evaluate candidates through
+  /// a ClientCandidateIndex (site -> clients) instead of scanning all n
+  /// clients per candidate. Exact (uncapped lists + overflow fallback) when
+  /// the space has a dense matrix; capped at max(64, candidate_knn) sites
+  /// per client on implicit spaces (approximate ranking, exact applies).
+  bool client_index = true;
+  /// Overrides the client-list cap: 0 = the default above, k > 0 caps every
+  /// list at k sites (also on dense matrices — bench/regression use).
+  std::size_t client_index_cap = 0;
 };
 
 struct LocalSearchResult {
@@ -74,8 +104,12 @@ struct LocalSearchResult {
 };
 
 /// Hill-climbs from `initial` (must be one-to-one) and returns a placement
-/// that no single-element relocation improves. Deterministic.
-[[nodiscard]] LocalSearchResult local_search_placement(const net::LatencyMatrix& matrix,
+/// that no single-element relocation improves. Deterministic. The space may
+/// be a dense LatencyMatrix (every historical caller) or an implicit
+/// LatencySpace such as a LatencyEmbedding; the Naive engine and
+/// non-delta-capable objectives require a dense matrix (full re-evaluation
+/// is O(n^2)) and throw std::invalid_argument on an implicit space.
+[[nodiscard]] LocalSearchResult local_search_placement(const net::LatencySpace& space,
                                                        const quorum::QuorumSystem& system,
                                                        const Placement& initial,
                                                        const LocalSearchOptions& options = {});

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/simd_kernels.hpp"
 #include "net/shortest_paths.hpp"
 
 namespace qp::net {
@@ -67,6 +68,12 @@ double LatencyMatrix::rtt(std::size_t a, std::size_t b) const {
   check_site(a);
   check_site(b);
   return rtt_[a][b];
+}
+
+void LatencyMatrix::fill_rtts(std::size_t from, const std::size_t* sites,
+                              std::size_t count, double* out) const {
+  check_site(from);
+  common::gather_indexed(rtt_[from].data(), sites, count, out);
 }
 
 const std::vector<double>& LatencyMatrix::row(std::size_t a) const {

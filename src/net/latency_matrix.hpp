@@ -11,10 +11,11 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "net/latency_space.hpp"
 
 namespace qp::net {
 
-class LatencyMatrix {
+class LatencyMatrix : public LatencySpace {
  public:
   /// Builds from a full matrix. Requires: square, zero diagonal, symmetric to
   /// within `symmetry_tolerance` (asymmetry is averaged away), non-negative.
@@ -25,10 +26,17 @@ class LatencyMatrix {
   /// Distance function of a graph: metric closure via shortest paths.
   [[nodiscard]] static LatencyMatrix from_graph(const Graph& graph);
 
-  [[nodiscard]] std::size_t size() const noexcept { return rtt_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept override { return rtt_.size(); }
 
   /// RTT between sites in milliseconds; rtt(v, v) == 0.
-  [[nodiscard]] double rtt(std::size_t a, std::size_t b) const;
+  [[nodiscard]] double rtt(std::size_t a, std::size_t b) const override;
+
+  /// Row gather via the SIMD gather kernel (identical doubles to the scalar
+  /// loop — the kernel only moves data).
+  void fill_rtts(std::size_t from, const std::size_t* sites, std::size_t count,
+                 double* out) const override;
+
+  [[nodiscard]] const LatencyMatrix* as_matrix() const noexcept override { return this; }
 
   [[nodiscard]] const std::vector<double>& row(std::size_t a) const;
 

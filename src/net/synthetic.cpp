@@ -11,34 +11,18 @@ namespace qp::net {
 
 namespace {
 
-constexpr double kEarthRadiusKm = 6371.0;
-// Light in fiber travels ~200 km per millisecond.
-constexpr double kFiberKmPerMs = 200.0;
-
 double deg2rad(double deg) noexcept { return deg * std::numbers::pi / 180.0; }
 
-}  // namespace
-
-double great_circle_km(double lat1_deg, double lon1_deg, double lat2_deg,
-                       double lon2_deg) noexcept {
-  const double lat1 = deg2rad(lat1_deg);
-  const double lat2 = deg2rad(lat2_deg);
-  const double dlat = lat2 - lat1;
-  const double dlon = deg2rad(lon2_deg - lon1_deg);
-  const double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
-                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
-  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
-}
-
-SyntheticTopology generate_topology(const SyntheticConfig& config) {
+/// Places sites and draws access delays, consuming forks 1 and 2 of `rng` —
+/// shared by generate_topology (which continues with fork 3 for the pair
+/// stream) and generate_sites, so both produce bitwise-identical locations.
+SyntheticSites place_sites(const SyntheticConfig& config, common::Rng& rng) {
   std::size_t total = 0;
   for (const Region& region : config.regions) total += region.site_count;
   if (total == 0) throw std::invalid_argument{"generate_topology: no sites configured"};
 
-  common::Rng rng{config.seed};
   common::Rng placement_rng = rng.fork(1);
   common::Rng access_rng = rng.fork(2);
-  common::Rng pair_rng = rng.fork(3);
 
   std::vector<SiteLocation> sites;
   sites.reserve(total);
@@ -63,6 +47,34 @@ SyntheticTopology generate_topology(const SyntheticConfig& config) {
   for (double& a : access_ms) {
     a = access_rng.uniform(config.access_delay_min_ms, config.access_delay_max_ms);
   }
+  return SyntheticSites{std::move(sites), std::move(access_ms)};
+}
+
+}  // namespace
+
+double great_circle_km(double lat1_deg, double lon1_deg, double lat2_deg,
+                       double lon2_deg) noexcept {
+  const double lat1 = deg2rad(lat1_deg);
+  const double lat2 = deg2rad(lat2_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(lon2_deg - lon1_deg);
+  const double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+SyntheticSites generate_sites(const SyntheticConfig& config) {
+  common::Rng rng{config.seed};
+  return place_sites(config, rng);
+}
+
+SyntheticTopology generate_topology(const SyntheticConfig& config) {
+  common::Rng rng{config.seed};
+  SyntheticSites placed = place_sites(config, rng);
+  common::Rng pair_rng = rng.fork(3);
+  std::vector<SiteLocation>& sites = placed.sites;
+  std::vector<double>& access_ms = placed.access_delay_ms;
+  const std::size_t total = sites.size();
 
   std::vector<std::vector<double>> rtt(total, std::vector<double>(total, 0.0));
   for (std::size_t i = 0; i < total; ++i) {

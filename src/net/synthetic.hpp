@@ -62,9 +62,27 @@ struct SyntheticTopology {
   std::vector<SiteLocation> sites;
 };
 
+/// Site placements plus per-site access delays — the O(n) part of the
+/// generator, without the O(n^2) RTT stage. Input for topologies generated
+/// directly in embedding space (sim/scenario sparse scenarios).
+struct SyntheticSites {
+  std::vector<SiteLocation> sites;
+  std::vector<double> access_delay_ms;
+};
+
+/// Mean Earth radius (haversine / chord geometry), kilometers.
+inline constexpr double kEarthRadiusKm = 6371.0;
+/// Light in fiber travels ~200 km per millisecond.
+inline constexpr double kFiberKmPerMs = 200.0;
+
 /// Great-circle distance in kilometers (haversine, mean Earth radius).
 [[nodiscard]] double great_circle_km(double lat1_deg, double lon1_deg, double lat2_deg,
                                      double lon2_deg) noexcept;
+
+/// Site placements and access delays of `config`, consuming the same seeded
+/// streams as generate_topology — the locations match the dense generator
+/// bitwise for the same config. O(n) time and memory; no RTT matrix.
+[[nodiscard]] SyntheticSites generate_sites(const SyntheticConfig& config);
 
 /// Generates a clustered WAN latency matrix per the config. Throws if the
 /// config lists no sites.

@@ -1,42 +1,83 @@
-// Minimal discrete-event simulation engine: a time-ordered queue of
-// callbacks with a monotone simulation clock.
+// Minimal discrete-event simulation engine: a time-ordered queue of typed
+// events with a monotone simulation clock.
+//
+// The queue is a template over the simulator's event type — a small tagged
+// struct the caller switches on in the dispatch functor passed to
+// run_next/run_until/run_all. The previous std::function<void()> callback
+// design cost one heap allocation per event (a capture of {this, id,
+// attempt, site, rtt} overflows every implementation's small-buffer
+// optimization) at ~50 events per simulated request; a typed value event is
+// allocation-free and keeps the heap's storage contiguous. The engine
+// validation suite pins bitwise-identical results across the change, and
+// bench_sim_engine's header records the rho = 0.9 validation-row speedup.
 //
 // Ordering contract: events pop in lexicographic (time, sequence) order,
 // where sequence is a monotone counter stamped at schedule() time. For equal
 // timestamps that is *global scheduling order* — NOT a property of the
 // underlying heap (std::priority_queue is unstable) — so an event scheduled
-// from inside a callback at the current timestamp runs after every
+// from inside a dispatch at the current timestamp runs after every
 // previously scheduled equal-time event, including ones already in the
-// queue before the callback fired. This is what keeps replications
+// queue before the dispatch fired. This is what keeps replications
 // deterministic and bit-identical across toolchains
 // (tests/sim_test.cpp pins it under heap churn).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
+#include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace qp::sim {
 
+template <typename Event>
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Schedules `event` at absolute simulation time `time` (>= now()).
+  void schedule(double time, Event event) {
+    if (time < now_) {
+      throw std::invalid_argument{"EventQueue: cannot schedule in the past"};
+    }
+    events_.push(Entry{time, next_sequence_++, std::move(event)});
+  }
 
-  /// Schedules `callback` at absolute simulation time `time` (>= now()).
-  void schedule(double time, Callback callback);
-
-  /// Pops and runs the earliest event; returns false when no events remain.
-  bool run_next();
+  /// Pops the earliest event, advances the clock, and hands the event to
+  /// `dispatch`; returns false when no events remain.
+  template <typename Dispatch>
+  bool run_next(Dispatch&& dispatch) {
+    if (events_.empty()) return false;
+    // priority_queue::top is const; typed events are small value structs, so
+    // a copy beats the UB-adjacent const_cast move.
+    Entry entry = events_.top();
+    events_.pop();
+    QP_CHECK(entry.time >= now_,
+             "EventQueue: clock would run backwards (heap ordering violated)");
+    now_ = entry.time;
+    ++executed_;
+    dispatch(std::move(entry.event));
+    return true;
+  }
 
   /// Runs events with time <= end_time; the clock then finishes at
   /// end_time exactly (advanced past the last executed event), unless it
   /// was already beyond end_time, in which case nothing runs and the clock
   /// is unchanged.
-  void run_until(double end_time);
+  template <typename Dispatch>
+  void run_until(double end_time, Dispatch&& dispatch) {
+    while (!events_.empty() && events_.top().time <= end_time) {
+      (void)run_next(dispatch);
+    }
+    if (now_ < end_time) now_ = end_time;
+  }
 
   /// Drains the queue completely.
-  void run_all();
+  template <typename Dispatch>
+  void run_all(Dispatch&& dispatch) {
+    while (run_next(dispatch)) {
+    }
+  }
 
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
@@ -44,19 +85,19 @@ class EventQueue {
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
-  struct Event {
+  struct Entry {
     double time = 0.0;
     std::uint64_t sequence = 0;  // Scheduling-order tie-break at equal times.
-    Callback callback;
+    Event event;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.sequence > b.sequence;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> events_;
   double now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;

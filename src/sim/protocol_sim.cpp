@@ -13,6 +13,22 @@ namespace qp::sim {
 
 namespace {
 
+/// The closed-loop simulator's typed event union (see EngineEvent in
+/// engine.cpp for the rationale). Fields are meaningful per kind as noted.
+struct SimEvent {
+  enum class Kind : std::uint8_t {
+    Issue,    // Client starts a brand-new request.
+    Arrive,   // Request message reaches `site` after rtt/2.
+    Reply,    // Service done; reply lands back at the client.
+    Timeout,  // The attempt's retry timer expired.
+  };
+  Kind kind = Kind::Issue;
+  std::uint64_t attempt = 0;
+  std::size_t client = 0;
+  std::size_t site = 0;
+  double rtt = 0.0;
+};
+
 struct Client {
   std::size_t site = 0;
   quorum::Quorum fixed_quorum;  // Used when the closest strategy is on.
@@ -75,9 +91,9 @@ class Simulator {
     // synchronized arrivals do not create artificial convoys.
     for (std::size_t c = 0; c < clients_.size(); ++c) {
       const double start = rng_.uniform() * 1.0;
-      queue_.schedule(start, [this, c] { issue(c); });
+      queue_.schedule(start, SimEvent{.client = c});
     }
-    queue_.run_all();
+    queue_.run_all([this](const SimEvent& event) { dispatch(event); });
 
     ProtocolSimResult result;
     result.response_stats = response_stats_;
@@ -99,6 +115,23 @@ class Simulator {
   }
 
  private:
+  void dispatch(const SimEvent& event) {
+    switch (event.kind) {
+      case SimEvent::Kind::Issue:
+        issue(event.client);
+        break;
+      case SimEvent::Kind::Arrive:
+        arrive(event.client, event.attempt, event.site, event.rtt);
+        break;
+      case SimEvent::Kind::Reply:
+        reply(event.client, event.attempt);
+        break;
+      case SimEvent::Kind::Timeout:
+        timeout(event.client, event.attempt);
+        break;
+    }
+  }
+
   /// Begins a brand-new request for client c (closed loop).
   void issue(std::size_t c) {
     Client& client = clients_[c];
@@ -128,14 +161,13 @@ class Simulator {
       const std::size_t server_site = placement_.site_of[u];
       const double rtt = matrix_.rtt(client.site, server_site);
       max_rtt = std::max(max_rtt, rtt);
-      queue_.schedule(now + rtt / 2.0, [this, c, attempt, server_site, rtt] {
-        arrive(c, attempt, server_site, rtt);
-      });
+      queue_.schedule(now + rtt / 2.0,
+                      SimEvent{SimEvent::Kind::Arrive, attempt, c, server_site, rtt});
     }
     if (!is_retry) client.request_network_delay = max_rtt;
     if (retry_.enabled()) {
       queue_.schedule(now + retry_.timeout_ms,
-                      [this, c, attempt] { timeout(c, attempt); });
+                      SimEvent{SimEvent::Kind::Timeout, attempt, c});
     }
   }
 
@@ -147,7 +179,7 @@ class Simulator {
     }
     const double depart = stations_[server_site].accept(
         now, config_.service_time_ms + config_.per_message_cpu_ms);
-    queue_.schedule(depart + rtt / 2.0, [this, c, attempt] { reply(c, attempt); });
+    queue_.schedule(depart + rtt / 2.0, SimEvent{SimEvent::Kind::Reply, attempt, c});
   }
 
   void reply(std::size_t c, std::uint64_t attempt) {
@@ -194,7 +226,7 @@ class Simulator {
   RetryPolicy retry_;  // config_'s timeout knobs as the shared policy.
   common::Rng rng_;
 
-  EventQueue queue_;
+  EventQueue<SimEvent> queue_;
   std::vector<Client> clients_;
   std::vector<ServiceStation> stations_;
   OutageSchedule outages_;

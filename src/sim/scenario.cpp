@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -107,7 +108,11 @@ std::vector<double> Scenario::arrival_rates_for(double peak_rho, double service_
                                          peak_rho);
 }
 
-Scenario make_scenario(const ScenarioConfig& config) {
+namespace {
+
+/// Validates the config and expands the world template into the region list
+/// the net/ generators consume; shared by the dense and sparse paths.
+net::SyntheticConfig topology_config(const ScenarioConfig& config) {
   if (config.site_count == 0) {
     throw std::invalid_argument{"make_scenario: site_count must be positive"};
   }
@@ -127,6 +132,13 @@ Scenario make_scenario(const ScenarioConfig& config) {
                                        region.longitude_deg, region.spread_deg,
                                        counts[i]});
   }
+  return topo;
+}
+
+}  // namespace
+
+Scenario make_scenario(const ScenarioConfig& config) {
+  const net::SyntheticConfig topo = topology_config(config);
   net::SyntheticTopology topology = net::generate_topology(topo);
 
   common::Rng demand_rng = common::Rng{config.seed}.fork(0xdeadbeef);
@@ -142,6 +154,39 @@ Scenario synthetic500_scenario(std::uint64_t seed) {
   config.site_count = 500;
   config.seed = seed;
   return make_scenario(config);
+}
+
+core::ClosestStrategyObjective SparseScenario::closest_objective() const {
+  return core::ClosestStrategyObjective::for_demand(std::span<const double>{client_demand});
+}
+
+SparseScenario make_sparse_scenario(const ScenarioConfig& config) {
+  const net::SyntheticConfig topo = topology_config(config);
+  net::SyntheticSites placed = net::generate_sites(topo);
+  const std::size_t n = placed.sites.size();
+
+  // 3-d Earth-chord coordinates, scaled so Euclidean distance reads directly
+  // in round-trip milliseconds over inflated fiber routes. The chord slightly
+  // underestimates the great-circle arc (< 1% under 4000 km, ~10% antipodal)
+  // — the price of an exact low-dimensional metric.
+  const double ms_per_km = 2.0 * topo.route_inflation_mean / net::kFiberKmPerMs;
+  const double scale = net::kEarthRadiusKm * ms_per_km;
+  std::vector<double> coords(3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lat = placed.sites[i].latitude_deg * std::numbers::pi / 180.0;
+    const double lon = placed.sites[i].longitude_deg * std::numbers::pi / 180.0;
+    coords[3 * i + 0] = scale * std::cos(lat) * std::cos(lon);
+    coords[3 * i + 1] = scale * std::cos(lat) * std::sin(lon);
+    coords[3 * i + 2] = scale * std::sin(lat);
+  }
+  net::LatencyEmbedding space{3, std::move(coords), std::move(placed.access_delay_ms),
+                              topo.min_rtt_ms};
+
+  common::Rng demand_rng = common::Rng{config.seed}.fork(0xdeadbeef);
+  std::vector<double> demand = power_law_demand(n, config.demand_shape,
+                                                config.mean_demand, demand_rng);
+  return SparseScenario{config.name + "-" + std::to_string(n), std::move(space),
+                        std::move(placed.sites), std::move(demand)};
 }
 
 Scenario daxlist161_scenario(std::uint64_t seed) {

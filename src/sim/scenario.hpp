@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/objective.hpp"
+#include "net/embedding.hpp"
 #include "net/latency_matrix.hpp"
 #include "net/synthetic.hpp"
 
@@ -79,5 +80,35 @@ struct Scenario {
 
 /// daxlist-161 stand-in (161 sites) with power-law demand on top.
 [[nodiscard]] Scenario daxlist161_scenario(std::uint64_t seed = 20060702);
+
+/// A scenario generated directly in embedding space — the 10k-50k-site
+/// regime where a dense matrix (n^2 doubles) is off the table. Sites are
+/// placed exactly like make_scenario's (same world template, same seeded
+/// streams, so the locations match the dense generator bitwise for equal
+/// site counts); RTTs are modeled as
+///
+///   rtt(i, j) = max(min_rtt, chord_ms(i, j) + access_i + access_j)
+///
+/// with chord_ms the 3-d Earth-chord distance scaled to round-trip fiber
+/// milliseconds at the mean route inflation, and the per-site access delays
+/// as Vivaldi heights. Unlike the dense generator there is no per-pair
+/// jitter or inflation spread — the embedding IS the ground truth, which is
+/// what makes O(n) generation possible at all. Memory is O(n * 3).
+struct SparseScenario {
+  std::string name;
+  net::LatencyEmbedding space;
+  /// Generated coordinates, one per site.
+  std::vector<net::SiteLocation> sites;
+  /// Per-client demand, requests/sec; one entry per site.
+  std::vector<double> client_demand;
+
+  [[nodiscard]] std::size_t site_count() const noexcept { return space.size(); }
+  /// Demand-weighted §6 closest-strategy search objective of this workload.
+  [[nodiscard]] core::ClosestStrategyObjective closest_objective() const;
+};
+
+/// Generates the sparse scenario: `site_count` sites over the world
+/// template, power-law demand. Same validation as make_scenario.
+[[nodiscard]] SparseScenario make_sparse_scenario(const ScenarioConfig& config);
 
 }  // namespace qp::sim

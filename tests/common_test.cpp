@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <set>
@@ -10,6 +13,7 @@
 
 #include "common/combinatorics.hpp"
 #include "common/rng.hpp"
+#include "common/simd_kernels.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 
@@ -164,6 +168,36 @@ TEST(Rng, ShuffleIsPermutation) {
   rng.shuffle(shuffled);
   std::sort(shuffled.begin(), shuffled.end());
   EXPECT_EQ(shuffled, items);
+}
+
+// ------------------------------------------------------- SimdKernels
+
+TEST(SimdKernels, GatherIndexedMatchesScalarForAllTailLengths) {
+  // gather_indexed only moves data, so whichever gate is compiled in
+  // (scalar / AVX2 4-lane / AVX-512 8-lane masked tail) must reproduce the
+  // scalar reference bit-for-bit. Sizes 0..33 cover every masked-tail
+  // remainder of both vector widths; indices repeat and jump around so a
+  // lane-ordering bug cannot cancel out.
+  Rng rng{2024};
+  std::vector<double> base(257);
+  for (double& v : base) v = rng.normal(0.0, 1e6);
+  base[0] = 0.0;
+  base[1] = -0.0;
+  base[2] = std::numeric_limits<double>::denorm_min();
+  base[3] = -std::numeric_limits<double>::infinity();
+  for (std::size_t n = 0; n <= 33; ++n) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = rng.below(base.size());
+    std::vector<double> out(n + 2, 42.0);  // Canary slots past the end.
+    gather_indexed(base.data(), idx.data(), n, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]),
+                std::bit_cast<std::uint64_t>(base[idx[i]]))
+          << "n=" << n << " i=" << i;
+    }
+    EXPECT_EQ(out[n], 42.0) << "tail overwrote past the end at n=" << n;
+    EXPECT_EQ(out[n + 1], 42.0);
+  }
 }
 
 // ---------------------------------------------------------------- Stats

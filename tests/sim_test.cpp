@@ -19,24 +19,24 @@ using net::LatencyMatrix;
 // -------------------------------------------------------------- EventQueue
 
 TEST(EventQueue, RunsInTimeOrder) {
-  EventQueue queue;
+  EventQueue<int> queue;
   std::vector<int> order;
-  queue.schedule(3.0, [&] { order.push_back(3); });
-  queue.schedule(1.0, [&] { order.push_back(1); });
-  queue.schedule(2.0, [&] { order.push_back(2); });
-  queue.run_all();
+  queue.schedule(3.0, 3);
+  queue.schedule(1.0, 1);
+  queue.schedule(2.0, 2);
+  queue.run_all([&](int value) { order.push_back(value); });
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_DOUBLE_EQ(queue.now(), 3.0);
   EXPECT_EQ(queue.executed(), 3u);
 }
 
 TEST(EventQueue, FifoAtEqualTimes) {
-  EventQueue queue;
+  EventQueue<int> queue;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+    queue.schedule(1.0, i);
   }
-  queue.run_all();
+  queue.run_all([&](int value) { order.push_back(value); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
@@ -47,29 +47,31 @@ TEST(EventQueue, EqualTimestampPopOrderIsInsertionOrderPinned) {
   // the stable sequence counter passes the trivial all-equal case but fails
   // this one on some libstdc++ heap layouts, silently de-synchronizing
   // simulation runs across toolchains.
-  EventQueue queue;
+  EventQueue<int> queue;
   std::vector<int> order;
-  queue.schedule(2.0, [&] { order.push_back(10); });
-  queue.schedule(1.0, [&] {
-    order.push_back(0);
-    queue.schedule(2.0, [&] { order.push_back(12); });  // After both 2.0 events.
-    queue.schedule(1.0, [&] { order.push_back(2); });   // After the other 1.0 event.
+  queue.schedule(2.0, 10);
+  queue.schedule(1.0, 0);
+  queue.schedule(3.0, 20);
+  queue.schedule(1.0, 1);
+  queue.schedule(2.0, 11);
+  queue.run_all([&](int value) {
+    order.push_back(value);
+    if (value == 0) {
+      queue.schedule(2.0, 12);  // After both already-queued 2.0 events.
+      queue.schedule(1.0, 2);   // After the other 1.0 event.
+    }
   });
-  queue.schedule(3.0, [&] { order.push_back(20); });
-  queue.schedule(1.0, [&] { order.push_back(1); });
-  queue.schedule(2.0, [&] { order.push_back(11); });
-  queue.run_all();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10, 11, 12, 20}));
 
   // Larger churn: 64 batches scheduled round-robin over 8 shared timestamps
   // must drain batch-insertion order within each timestamp.
-  EventQueue stress;
+  EventQueue<int> stress;
   std::vector<std::pair<int, int>> fired;  // (time index, insertion index).
   for (int i = 0; i < 64; ++i) {
     const int t = i % 8;
-    stress.schedule(static_cast<double>(t), [&fired, t, i] { fired.emplace_back(t, i); });
+    stress.schedule(static_cast<double>(t), i);
   }
-  stress.run_all();
+  stress.run_all([&](int i) { fired.emplace_back(i % 8, i); });
   ASSERT_EQ(fired.size(), 64u);
   for (std::size_t i = 1; i < fired.size(); ++i) {
     if (fired[i - 1].first == fired[i].first) {
@@ -81,34 +83,33 @@ TEST(EventQueue, EqualTimestampPopOrderIsInsertionOrderPinned) {
 }
 
 TEST(EventQueue, EventsCanScheduleEvents) {
-  EventQueue queue;
+  EventQueue<int> queue;
   int fired = 0;
-  queue.schedule(1.0, [&] {
+  queue.schedule(1.0, 0);
+  queue.run_all([&](int value) {
     ++fired;
-    queue.schedule(2.0, [&] { ++fired; });
+    if (value == 0) queue.schedule(2.0, 1);
   });
-  queue.run_all();
   EXPECT_EQ(fired, 2);
   EXPECT_DOUBLE_EQ(queue.now(), 2.0);
 }
 
 TEST(EventQueue, RunUntilStopsAtBoundary) {
-  EventQueue queue;
+  EventQueue<int> queue;
   int fired = 0;
-  queue.schedule(1.0, [&] { ++fired; });
-  queue.schedule(5.0, [&] { ++fired; });
-  queue.run_until(3.0);
+  queue.schedule(1.0, 0);
+  queue.schedule(5.0, 1);
+  queue.run_until(3.0, [&](int) { ++fired; });
   EXPECT_EQ(fired, 1);
   EXPECT_DOUBLE_EQ(queue.now(), 3.0);
   EXPECT_EQ(queue.pending(), 1u);
 }
 
-TEST(EventQueue, RejectsPastAndEmptyCallbacks) {
-  EventQueue queue;
-  queue.schedule(5.0, [] {});
-  queue.run_all();
-  EXPECT_THROW(queue.schedule(1.0, [] {}), std::invalid_argument);
-  EXPECT_THROW(queue.schedule(9.0, EventQueue::Callback{}), std::invalid_argument);
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue<int> queue;
+  queue.schedule(5.0, 0);
+  queue.run_all([](int) {});
+  EXPECT_THROW(queue.schedule(1.0, 0), std::invalid_argument);
 }
 
 // ------------------------------------------------------------ Protocol sim
