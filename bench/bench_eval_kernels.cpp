@@ -29,6 +29,7 @@
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -287,14 +288,15 @@ int main(int argc, char** argv) {
   // per candidate (~68us). Attaching the ClientCandidateIndex routes the
   // candidate through the site->clients inverted lists instead, touching
   // only the clients whose choice the move can flip or whose loads it
-  // shifts. The "after" row is the capped-64 production configuration the
-  // 10k-50k searches run. At n=500 the constant-factor gain is small
-  // (~57-64us vs ~60-65us scan: the grid-cell argmin reprice dominates
-  // both paths at this size) — the genuine win is asymptotic, per-move
-  // cost k*O(n) instead of O(n^2); bench_large_topology's scaling table is
-  // the figure. The _exact row is the uncapped parity mode (same doubles
-  // as the scan, audited at level 2) whose coverage lists stay nearly
-  // dense while the placement is poor — correctness, not speed.
+  // shifts — and classifies each with the O(k) grid-argmin reconstruction,
+  // so a list client whose winning cell is unchanged costs a handful of
+  // min/max selections instead of the k*k rescan. The "after" row is the
+  // capped-64 production configuration the 10k-50k searches run (~39us vs
+  // ~60us scan); the genuine win is still asymptotic, per-move cost k*O(n)
+  // instead of O(n^2) — bench_large_topology's scaling table is the
+  // figure. The _exact row is the uncapped parity mode (audited against
+  // the full scan at level 2): its coverage lists are nearly dense at
+  // n=500, yet the pruned classification keeps it under the scan (~47us).
   {
     auto scenario = std::make_shared<sim::Scenario>(sim::synthetic500_scenario());
     auto grid500 = std::make_shared<quorum::GridQuorum>(7);
@@ -338,6 +340,68 @@ int main(int argc, char** argv) {
             }
           });
     }
+  }
+
+  // --- Client-index rebuild schedule, before/after: the exact-mode lists
+  // above are built from the INITIAL placement's m1 radii and the old
+  // search kept them for the whole run. As the search moves, per-client m1
+  // drifts both ways: clients whose radius shrank carry needlessly dense
+  // lists, and clients whose radius outgrew their coverage fall into the
+  // always-rechecked overflow set. The schedule rebuilds the lists from
+  // the current radii every client_index_rebuild accepted moves, keeping
+  // lists as tight as the current placement allows and the overflow set
+  // empty. Rows, all on the same locally-improved placement: the dense
+  // scan, the stale initial-radii lists (before), and lists rebuilt from
+  // the current radii (after) — the after row is what the scheduled search
+  // actually evaluates candidates with.
+  {
+    auto scenario = std::make_shared<sim::Scenario>(sim::synthetic500_scenario());
+    auto grid500 = std::make_shared<quorum::GridQuorum>(7);
+    auto closest500 =
+        std::make_shared<core::ClosestStrategyObjective>(scenario->closest_objective());
+    auto initial500 = std::make_shared<core::Placement>(
+        core::best_grid_placement(scenario->matrix, 7).placement);
+    core::LocalSearchOptions tighten;
+    tighten.objective = closest500.get();
+    tighten.threads = 1;
+    tighten.strategy = core::LocalSearchStrategy::FirstImprovement;
+    tighten.max_rounds = 60;
+    auto tightened = std::make_shared<core::Placement>(
+        core::local_search_placement(scenario->matrix, *grid500, *initial500, tighten)
+            .placement);
+    const auto register_candidate_row = [&](const std::string& name, bool stale_radii,
+                                            bool indexed) {
+      benchmark::RegisterBenchmark(
+          name.c_str(), [scenario, grid500, closest500, initial500, tightened,
+                         stale_radii, indexed](benchmark::State& state) {
+            core::DeltaEvaluator eval{scenario->matrix, *grid500, *tightened,
+                                      *closest500};
+            const net::KnnIndex knn{scenario->matrix};
+            std::optional<core::ClientCandidateIndex> index;
+            if (indexed) {
+              // Stale = the initial placement's radii (what the search held
+              // before the schedule); fresh = the tightened placement's.
+              const core::DeltaEvaluator initial_eval{scenario->matrix, *grid500,
+                                                      *initial500, *closest500};
+              index = core::ClientCandidateIndex::build(
+                  scenario->matrix, &knn,
+                  stale_radii ? initial_eval.best_values() : eval.best_values(), {});
+              eval.attach_candidate_index(&*index);
+            }
+            std::size_t site = 0;
+            std::size_t element = 0;
+            for (auto _ : state) {
+              site = (site + 1) % scenario->matrix.size();
+              element = (element + 1) % tightened->universe_size();
+              benchmark::DoNotOptimize(eval.objective_if_moved(element, site));
+            }
+          });
+    };
+    register_candidate_row("EvalKernels/closest_localopt_scan/synth500", false, false);
+    register_candidate_row("EvalKernels/closest_localopt_exact_stale/synth500", true,
+                           true);
+    register_candidate_row("EvalKernels/closest_localopt_exact_rebuilt/synth500", false,
+                           true);
   }
 
   // --- The fill_element_distances gather (scalar on baseline x86-64,

@@ -3,6 +3,8 @@
 // placement, across node-capacity levels.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -42,6 +44,11 @@ int main(int argc, char** argv) {
             << "# (anchor search restricted to the 12 most central sites)\n";
   qp::eval::IterativeSweepConfig config;  // side = 5, 10 levels, 12 anchors.
   config.shard = qp::eval::point_shard_from_env();  // run_all.sh --points K/N.
+  // QP_ITER_WARM=0 disables phase-2 LP warm starts (CI compares the two runs'
+  // objectives; they must agree — warm starts change speed, not optima).
+  if (const char* warm = std::getenv("QP_ITER_WARM")) {
+    config.warm_start = std::strcmp(warm, "0") != 0;
+  }
   const auto points = qp::eval::iterative_sweep(topology(), config);
   qp::eval::print_csv(std::cout, points);
 

@@ -860,6 +860,13 @@ void DeltaEvaluator::apply_move_closest(std::size_t element, std::size_t site) {
   const std::size_t r0 = mode_ == Mode::ClosestGrid ? element / k : 0;
   const std::size_t c0 = mode_ == Mode::ClosestGrid ? element % k : 0;
   std::vector<std::size_t> scratch_ids;
+  // With charge lists maintained, record the clients whose charge set moves
+  // (flipped choice, or chosen quorum contains the moved element) so the
+  // reaccumulation below can stay bounded instead of O(clients x |Q|).
+  const bool incremental = candidate_index_ != nullptr;
+  std::vector<std::size_t> touched_clients;
+  std::vector<std::pair<std::size_t, std::size_t>> new_charges;  // (site, v).
+  std::vector<std::size_t> affected_sites;
   for (std::size_t v = 0; v < clients_; ++v) {
     double* vals = values_.data() + v * n_;
     const double d_old = vals[element];
@@ -872,6 +879,14 @@ void DeltaEvaluator::apply_move_closest(std::size_t element, std::size_t site) {
         mode_ == Mode::ClosestMajority && contains_u &&
         (majority_q_ == n_ || d_new < second_value_[v]);
     const bool flip = !keep && !keep_moved;
+    const bool touched = incremental && (flip || contains_u);
+    if (touched) {
+      // Old charges, under the pre-move placement and pre-repair choice.
+      touched_clients.push_back(v);
+      for (std::size_t e : chosen_quorum_[v]) {
+        affected_sites.push_back(placement_.site_of[e]);
+      }
+    }
     // Identity recompute needs the pre-repair tables for Majority (the
     // patched-rank shortcut reads the old sorted row); Grid and Enumerated
     // rescan the repaired tables below.
@@ -939,16 +954,27 @@ void DeltaEvaluator::apply_move_closest(std::size_t element, std::size_t site) {
         break;
       }
     }
+    if (touched) {
+      // New charges, under the post-move placement and repaired choice.
+      for (std::size_t e : chosen_quorum_[v]) {
+        const std::size_t s = e == element ? site : placement_.site_of[e];
+        new_charges.emplace_back(s, v);
+        affected_sites.push_back(s);
+      }
+    }
   }
   placement_.site_of[element] = site;
-  rebuild_closest_loads_and_rho();
+  if (incremental) {
+    reaccumulate_closest_dirty(touched_clients, new_charges, affected_sites);
+  } else {
+    rebuild_closest_loads_and_rho();
+  }
 }
 
 void DeltaEvaluator::attach_candidate_index(const ClientCandidateIndex* index) {
   if (index == nullptr) {
     candidate_index_ = nullptr;
-    charge_offsets_.clear();
-    charge_clients_.clear();
+    charge_lists_.clear();
     overflow_clients_.clear();
     return;
   }
@@ -964,23 +990,13 @@ void DeltaEvaluator::attach_candidate_index(const ClientCandidateIndex* index) {
 }
 
 void DeltaEvaluator::rebuild_charge_index() {
-  // Site -> charging clients CSR from the current chosen quorums: counting
-  // pass, prefix offsets, fill in ascending client order (so each site's
-  // charger list is sorted and the enumeration order is deterministic).
-  charge_offsets_.assign(clients_ + 1, 0);
+  // Site -> charging clients from the current chosen quorums, filled in
+  // ascending client order (so each site's charger list is sorted, with one
+  // entry per charging element, and the enumeration order is deterministic).
+  charge_lists_.assign(clients_, {});
   for (std::size_t v = 0; v < clients_; ++v) {
     for (std::size_t e : chosen_quorum_[v]) {
-      ++charge_offsets_[placement_.site_of[e] + 1];
-    }
-  }
-  for (std::size_t s = 0; s < clients_; ++s) {
-    charge_offsets_[s + 1] += charge_offsets_[s];
-  }
-  charge_clients_.resize(charge_offsets_[clients_]);
-  std::vector<std::size_t> cursor(charge_offsets_.begin(), charge_offsets_.end() - 1);
-  for (std::size_t v = 0; v < clients_; ++v) {
-    for (std::size_t e : chosen_quorum_[v]) {
-      charge_clients_[cursor[placement_.site_of[e]]++] = v;
+      charge_lists_[placement_.site_of[e]].push_back(v);
     }
   }
   // Clients whose m1 outgrew their list's covered radius fall back to being
@@ -988,6 +1004,92 @@ void DeltaEvaluator::rebuild_charge_index() {
   // the placement drifts away from the radii the lists were built with.
   // Capped indexes are openly approximate and skip the fallback (every
   // far client would overflow, degenerating to the full scan).
+  overflow_clients_.clear();
+  if (!candidate_index_->capped()) {
+    for (std::size_t v = 0; v < clients_; ++v) {
+      if (best_value_[v] > candidate_index_->covered_radius(v)) {
+        overflow_clients_.push_back(v);
+      }
+    }
+  }
+}
+
+void DeltaEvaluator::reaccumulate_closest_dirty(
+    std::span<const std::size_t> touched_clients,
+    std::vector<std::pair<std::size_t, std::size_t>>& new_charges,
+    std::vector<std::size_t>& affected_sites) {
+  std::sort(affected_sites.begin(), affected_sites.end());
+  affected_sites.erase(std::unique(affected_sites.begin(), affected_sites.end()),
+                       affected_sites.end());
+  // Group the new charges by site; stable keeps the ascending client order
+  // the apply loop appended them in, so merged lists stay client-sorted.
+  std::stable_sort(new_charges.begin(), new_charges.end(),
+                   [](const std::pair<std::size_t, std::size_t>& a,
+                      const std::pair<std::size_t, std::size_t>& b) {
+                     return a.first < b.first;
+                   });
+
+  if (dirty_client_.size() != clients_) {
+    dirty_client_.assign(clients_, 0);
+    reprice_client_.assign(clients_, 0);
+  }
+  for (std::size_t v : touched_clients) dirty_client_[v] = 1;
+
+  // Per affected site: drop the touched clients' old entries from the charge
+  // list, merge their new entries in, and re-sum the weighted load over the
+  // merged list. The list is ascending with per-element multiplicity, which
+  // is exactly the order the full reaccumulation adds the same weights in —
+  // the per-site sums are bitwise identical to rebuild_closest_loads_and_rho.
+  std::vector<std::size_t> merged;
+  std::size_t cursor = 0;
+  for (std::size_t s : affected_sites) {
+    const std::size_t begin = cursor;
+    while (cursor < new_charges.size() && new_charges[cursor].first == s) ++cursor;
+    const std::vector<std::size_t>& old_list = charge_lists_[s];
+    merged.clear();
+    std::size_t i = 0;
+    std::size_t j = begin;
+    while (i < old_list.size() || j < cursor) {
+      if (i < old_list.size() && dirty_client_[old_list[i]] != 0) {
+        ++i;  // Its fresh entries (if any) arrive from new_charges.
+      } else if (j == cursor ||
+                 (i < old_list.size() && old_list[i] < new_charges[j].second)) {
+        merged.push_back(old_list[i++]);
+      } else {
+        merged.push_back(new_charges[j++].second);
+      }
+    }
+    charge_lists_[s] = merged;
+    double load = 0.0;
+    for (std::size_t v : charge_lists_[s]) load += charge_weight(v);
+    closest_load_[s] = load;
+  }
+
+  // Reprice exactly the clients whose response inputs changed: a repaired
+  // chosen quorum / moved element, or a charged site whose load moved. The
+  // recomputed values are bitwise the full pass's (same expression, same
+  // inputs); untouched clients keep values with bitwise-unchanged inputs.
+  for (std::size_t v : touched_clients) reprice_client_[v] = 1;
+  for (std::size_t s : affected_sites) {
+    for (std::size_t v : charge_lists_[s]) reprice_client_[v] = 1;
+  }
+  for (std::size_t v = 0; v < clients_; ++v) {
+    if (reprice_client_[v] == 0) continue;
+    const double* vals = values_.data() + v * n_;
+    double worst = 0.0;
+    for (std::size_t e : chosen_quorum_[v]) {
+      worst = std::max(worst, vals[e] + alpha_ * closest_load_[placement_.site_of[e]]);
+    }
+    client_sum_[v] = worst;
+  }
+  base_total_ = 0.0;
+  for (std::size_t v = 0; v < clients_; ++v) {
+    base_total_ += (client_weight_.empty() ? 1.0 : client_weight_[v]) * client_sum_[v];
+  }
+
+  for (std::size_t v : touched_clients) dirty_client_[v] = 0;
+  std::fill(reprice_client_.begin(), reprice_client_.end(), 0);
+
   overflow_clients_.clear();
   if (!candidate_index_->capped()) {
     for (std::size_t v = 0; v < clients_; ++v) {
@@ -1075,33 +1177,75 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
       mark_reprice(v);
       return;
     }
+    if (mode_ == Mode::ClosestGrid) {
+      // O(k) exact reconstruction of the full scan's k*k-cell argmin:
+      // cell(r, c) = max(row'[r], col'[c]), so each row's minimum is
+      // max(row'[r], min_c col'[c]), and the strict-< scan's winner is the
+      // first cell (row-major) attaining the global minimum — the first row
+      // whose minimum attains it, then the first column attaining it within
+      // that row. Pure selection (no arithmetic), so the winner and its
+      // value are bitwise those of the k*k scan in closest_if_moved.
+      const double* rm = row_max_.data() + v * k;
+      const double* cm = col_max_.data() + v * k;
+      const double nr = std::max(row_excl_[v * n_ + element], d_new);
+      const double nc = std::max(col_excl_[v * n_ + element], d_new);
+      double col_min = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        col_min = std::min(col_min, c == c0 ? nc : cm[c]);
+      }
+      double best_max = std::numeric_limits<double>::infinity();
+      std::size_t best_r = 0;
+      for (std::size_t r = 0; r < k; ++r) {
+        const double val = std::max(r == r0 ? nr : rm[r], col_min);
+        if (val < best_max) {
+          best_max = val;
+          best_r = r;
+        }
+      }
+      const double rr = best_r == r0 ? nr : rm[best_r];
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (std::max(rr, c == c0 ? nc : cm[c]) == best_max) {
+          best_c = c;
+          break;
+        }
+      }
+      if (best_r == chosen_row_[v] && best_c == chosen_col_[v]) {
+        if (!contains_u) return;  // Same unmodified cell: provably unchanged.
+        // u keeps its slot in the still-winning cell: the chosen set is
+        // unchanged, only u's charge moves (the grid analogue of the
+        // majority shortcut above).
+        sc.client_state[v] = 1;
+        if (load) {
+          const double w = charge_weight(v);
+          touch(old_site, -w);
+          touch(site, w);
+        }
+        mark_reprice(v);
+        return;
+      }
+      sc.client_state[v] = 2;
+      sc.flip_off[v] = sc.chosen.size();
+      for_each_grid_element(k, best_r, best_c,
+                            [&](std::size_t e) { sc.chosen.push_back(e); });
+      sc.flip_len[v] = sc.chosen.size() - sc.flip_off[v];
+      if (load) {
+        const double w = charge_weight(v);
+        for (std::size_t e : chosen_quorum_[v]) touch(placement_.site_of[e], -w);
+        for (std::size_t i = sc.flip_off[v]; i < sc.chosen.size(); ++i) {
+          const std::size_t e = sc.chosen[i];
+          touch(e == element ? site : placement_.site_of[e], w);
+        }
+      }
+      mark_reprice(v);
+      return;
+    }
     sc.client_state[v] = 2;
     sc.flip_off[v] = sc.chosen.size();
     switch (mode_) {
       case Mode::ClosestMajority:
         majority_chosen_patched(v, element, d_new, sc.chosen);
         break;
-      case Mode::ClosestGrid: {
-        const double* rm = row_max_.data() + v * k;
-        const double* cm = col_max_.data() + v * k;
-        const double nr = std::max(row_excl_[v * n_ + element], d_new);
-        const double nc = std::max(col_excl_[v * n_ + element], d_new);
-        std::size_t best = 0;
-        double best_max = std::numeric_limits<double>::infinity();
-        for (std::size_t r = 0; r < k; ++r) {
-          const double rr = r == r0 ? nr : rm[r];
-          for (std::size_t c = 0; c < k; ++c) {
-            const double val = std::max(rr, c == c0 ? nc : cm[c]);
-            if (val < best_max) {
-              best_max = val;
-              best = r * k + c;
-            }
-          }
-        }
-        for_each_grid_element(k, best / k, best % k,
-                              [&](std::size_t e) { sc.chosen.push_back(e); });
-        break;
-      }
       default: {  // ClosestEnumerated: Tree's DP tie-breaking is its own.
         const double* vals = values_.data() + v * n_;
         sc.row.assign(vals, vals + n_);
@@ -1127,20 +1271,18 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
   // new site to undercut m1 (the client's candidate list contains it, or
   // the client overflowed its list) — see client_index.hpp for why this is
   // exhaustive in the uncapped mode.
-  for (std::size_t i = charge_offsets_[old_site]; i < charge_offsets_[old_site + 1];
-       ++i) {
-    classify(charge_clients_[i]);
-  }
+  for (std::size_t v : charge_lists_[old_site]) classify(v);
   for (std::size_t v : candidate_index_->clients_of(site)) classify(v);
   for (std::size_t v : overflow_clients_) classify(v);
 
   // Clients charging a load-touched site reprice even when their choice is
   // provably unchanged — the load term under their chosen quorum moved.
+  // Sites whose deltas cancelled to exactly 0.0 change nothing: their
+  // chargers would reprice to bitwise the same response, so skip them.
   if (load) {
     for (std::size_t s : sc.touched) {
-      for (std::size_t i = charge_offsets_[s]; i < charge_offsets_[s + 1]; ++i) {
-        mark_reprice(charge_clients_[i]);
-      }
+      if (sc.load_delta[s] == 0.0) continue;
+      for (std::size_t v : charge_lists_[s]) mark_reprice(v);
     }
   }
 

@@ -69,6 +69,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/objective.hpp"
@@ -186,10 +187,21 @@ class DeltaEvaluator {
   [[nodiscard]] double closest_if_moved_indexed(std::size_t element,
                                                 std::size_t site) const;
   void apply_move_closest(std::size_t element, std::size_t site);
-  /// Rebuilds the site -> charging-clients CSR (and the coverage-overflow
-  /// set) from the current chosen quorums; called per accepted move while a
-  /// candidate index is attached.
+  /// Rebuilds the site -> charging-clients lists (and the coverage-overflow
+  /// set) from the current chosen quorums — the full O(clients x |Q|) pass,
+  /// used at (re)build time and whenever no charge lists are maintained.
   void rebuild_charge_index();
+  /// Bounded replacement for rebuild_closest_loads_and_rho after an accepted
+  /// move, driven by the maintained charge lists: only the sites whose
+  /// charging multiset changed are re-summed (ascending client order, so the
+  /// per-site sums are bitwise those of the full reaccumulation) and only
+  /// clients whose chosen quorum or a charged site's load changed are
+  /// repriced. `touched_clients` are the ascending clients whose charge set
+  /// moved, `new_charges` their (site, client) post-move charges in client
+  /// order, `affected_sites` the union of their old and new charge sites.
+  void reaccumulate_closest_dirty(std::span<const std::size_t> touched_clients,
+                                  std::vector<std::pair<std::size_t, std::size_t>>& new_charges,
+                                  std::vector<std::size_t>& affected_sites);
   /// Per-client weight: demand share, or 1/|V| for the uniform objective.
   [[nodiscard]] double charge_weight(std::size_t v) const noexcept;
 
@@ -264,13 +276,17 @@ class DeltaEvaluator {
   std::vector<double> closest_load_;            // Weighted load_f per site.
 
   // Sparse candidate evaluation (closest modes, optional): the attached
-  // per-client candidate lists, the site -> charging-clients CSR rebuilt per
-  // accepted move, and the clients whose m1 outgrew their list's covered
-  // radius (always checked, so uncapped evaluation stays exact).
+  // per-client candidate lists, the site -> charging-clients lists (one
+  // ascending client list per site, with per-element multiplicity; repaired
+  // in place per accepted move), and the clients whose m1 outgrew their
+  // list's covered radius (always checked, so uncapped evaluation stays
+  // exact).
   const ClientCandidateIndex* candidate_index_ = nullptr;
-  std::vector<std::size_t> charge_offsets_;  // sites + 1.
-  std::vector<std::size_t> charge_clients_;  // concatenated charging clients.
+  std::vector<std::vector<std::size_t>> charge_lists_;  // sites -> clients.
   std::vector<std::size_t> overflow_clients_;
+  // apply_move scratch (clients-sized flags, cleared per accepted move).
+  std::vector<std::uint8_t> dirty_client_;
+  std::vector<std::uint8_t> reprice_client_;
 };
 
 }  // namespace qp::core

@@ -44,6 +44,12 @@ IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
   bool have_accepted = false;
   IterativeResult result;
 
+  // Basis of the last optimal phase-2 LP and the placement support set it
+  // was solved under; reused only while the support set (and so the LP's
+  // row/column shape) is unchanged across rounds.
+  lp::Basis warm_basis;
+  std::vector<std::size_t> warm_support;
+
   for (std::size_t j = 1; j <= options.max_iterations; ++j) {
     IterationRecord record;
     record.iteration = j;
@@ -74,13 +80,24 @@ IterativeResult iterative_placement(const net::LatencyMatrix& matrix,
     // the LP may only re-route delay, never concentrate load further.
     std::vector<double> load_caps = phase1.site_load;
     for (double& cap : load_caps) cap = cap * (1.0 + 1e-9) + 1e-12;
+    StrategyLpOptions strategy_options = options.strategy;
+    const std::vector<std::size_t> support = placement.support_set();
+    if (options.warm_start && !warm_basis.empty() && support == warm_support) {
+      strategy_options.simplex.initial_basis = warm_basis;
+      record.lp_warm_started = true;
+    }
     const StrategyLpResult lp_result = optimize_access_strategy(
-        matrix, system, placement, load_caps, demand, options.strategy);
+        matrix, system, placement, load_caps, demand, strategy_options);
+    record.lp_iterations = lp_result.lp_iterations;
     if (lp_result.status != lp::SolveStatus::Optimal) {
       // The carried strategy is feasible for these capacities by
       // construction, so this indicates numerical trouble; stop cleanly.
       result.history.push_back(record);
       break;
+    }
+    if (options.warm_start && !lp_result.basis.empty()) {
+      warm_basis = lp_result.basis;
+      warm_support = support;
     }
     const Evaluation phase2 =
         evaluate_explicit(matrix, system, placement, alpha, lp_result.strategy, demand);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -97,6 +98,7 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
     knn = &*local_knn;
   }
   std::optional<ClientCandidateIndex> client_index;
+  ClientCandidateIndex::Config index_config;
   if (options.client_index && eval.closest_strategy()) {
     ClientCandidateIndex::Config config;
     config.cap = options.client_index_cap;
@@ -108,7 +110,12 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
     }
     client_index = ClientCandidateIndex::build(space, knn, eval.best_values(), config);
     eval.attach_candidate_index(&*client_index);
+    index_config = config;
   }
+  // Radius-shrinking rebuild schedule (uncapped lists only, see the option).
+  const bool reindex = client_index.has_value() && !client_index->capped() &&
+                       options.client_index_rebuild > 0;
+  std::size_t moves_since_reindex = 0;
 
   std::vector<bool> used(space.size(), false);
   for (std::size_t site : initial.site_of) used[site] = true;
@@ -204,6 +211,15 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
     used[candidates[best_index].site] = true;
     eval.apply_move(candidates[best_index].element, candidates[best_index].site);
     ++result.moves;
+    if (reindex && ++moves_since_reindex >= options.client_index_rebuild) {
+      // Fresh lists match the current m1 radii (tight coverage, empty
+      // overflow set); exactness never depended on the list contents.
+      ClientCandidateIndex rebuilt =
+          ClientCandidateIndex::build(space, knn, eval.best_values(), index_config);
+      client_index = std::move(rebuilt);
+      eval.attach_candidate_index(&*client_index);
+      moves_since_reindex = 0;
+    }
   }
 
   result.placement = eval.placement();

@@ -92,6 +92,18 @@ struct LocalSearchOptions {
   /// Overrides the client-list cap: 0 = the default above, k > 0 caps every
   /// list at k sites (also on dense matrices — bench/regression use).
   std::size_t client_index_cap = 0;
+  /// Rebuild schedule for UNCAPPED client indexes: rebuild the per-client
+  /// lists from the current m1 radii after this many accepted moves
+  /// (0 = never). The initial lists cover the initial placement's radii
+  /// forever, even as the search moves m1 both ways — clients whose radius
+  /// shrank carry needlessly dense lists, clients whose radius outgrew its
+  /// coverage fall into the always-rechecked overflow set. Periodic
+  /// rebuilds keep the lists tight and the overflow set empty.
+  /// Trajectory-invariant: uncapped indexed evaluation is exact for ANY list
+  /// contents (coverage overflow repairs staleness), so the schedule changes
+  /// speed, never decisions. Capped indexes ignore it (their lists are
+  /// fixed-size and do not depend on the radii the same way).
+  std::size_t client_index_rebuild = 16;
 };
 
 struct LocalSearchResult {

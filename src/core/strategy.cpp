@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "flow/mincost_flow.hpp"
+#include "lp/revised_simplex.hpp"
 
 namespace qp::core {
 
@@ -220,6 +225,98 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
                                   std::span<const double>{}, options);
 }
 
+namespace {
+
+/// Copies LP variable values into per-client rows and normalizes each row to
+/// sum exactly 1 (the solvers are only accurate to their tolerance).
+void fill_strategy_rows(StrategyLpResult& result, std::span<const double> values,
+                        std::size_t client_count, std::size_t m) {
+  result.strategy.probability.assign(client_count, std::vector<double>(m, 0.0));
+  for (std::size_t v = 0; v < client_count; ++v) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double p = std::max(0.0, values[v * m + i]);
+      result.strategy.probability[v][i] = p;
+      sum += p;
+    }
+    if (sum <= 0.0) throw std::logic_error{"optimize_access_strategy: empty distribution"};
+    for (double& p : result.strategy.probability[v]) p /= sum;
+  }
+}
+
+/// True when no capacity row of the strategy LP can bind: even if every
+/// client routed all its weight through the quorum that touches site w the
+/// most, the induced load stays within cap_w. Then constraint set (4.4) is
+/// vacuous and the LP decouples into one transportation column per client.
+bool capacity_rows_cannot_bind(
+    const std::vector<std::vector<std::pair<std::size_t, double>>>& quorum_sites,
+    std::span<const std::size_t> support, std::span<const double> capacities,
+    std::size_t site_count, double total_weight) {
+  std::vector<double> max_count(site_count, 0.0);
+  for (const auto& sites : quorum_sites) {
+    for (const auto& [site, count] : sites) {
+      max_count[site] = std::max(max_count[site], count);
+    }
+  }
+  for (std::size_t w : support) {
+    if (max_count[w] * total_weight > capacities[w]) return false;
+  }
+  return true;
+}
+
+/// The transportation specialization: with no binding capacity rows, the
+/// optimal strategy is a min-cost assignment of one unit per client over the
+/// client -> quorum bipartite graph (network-simplex semantics via
+/// flow/mincost_flow). Costs are the LP objective coefficients, so the
+/// reported objective matches the general path to solver tolerance.
+StrategyLpResult solve_transportation(std::span<const double> delay_cost,
+                                      std::size_t client_count, std::size_t m) {
+  StrategyLpResult result;
+  result.solver_used = StrategyLpSolver::Transportation;
+
+  const std::size_t source = 0;
+  const std::size_t sink = client_count + m + 1;
+  flow::MinCostFlow network{client_count + m + 2};
+  std::vector<std::size_t> edge_of(client_count * m, 0);
+  for (std::size_t v = 0; v < client_count; ++v) {
+    (void)network.add_edge(source, 1 + v, 1.0, 0.0);
+  }
+  for (std::size_t v = 0; v < client_count; ++v) {
+    for (std::size_t i = 0; i < m; ++i) {
+      edge_of[v * m + i] =
+          network.add_edge(1 + v, 1 + client_count + i, 1.0, delay_cost[v * m + i]);
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    (void)network.add_edge(1 + client_count + i, sink,
+                           static_cast<double>(client_count), 0.0);
+  }
+
+  const flow::MinCostFlow::Result flow_result =
+      network.solve(source, sink, static_cast<double>(client_count));
+  if (flow_result.flow < static_cast<double>(client_count) - 0.5) {
+    // Cannot happen on this topology (every client reaches every quorum);
+    // report it like any other numerical breakdown so callers can fall back.
+    result.status = lp::SolveStatus::IterationLimit;
+    return result;
+  }
+
+  result.status = lp::SolveStatus::Optimal;
+  std::vector<double> values(client_count * m, 0.0);
+  for (std::size_t var = 0; var < values.size(); ++var) {
+    values[var] = network.flow_on(edge_of[var]);
+  }
+  // Objective in the same summation order as the simplex paths.
+  result.avg_network_delay = 0.0;
+  for (std::size_t var = 0; var < values.size(); ++var) {
+    result.avg_network_delay += delay_cost[var] * values[var];
+  }
+  fill_strategy_rows(result, values, client_count, m);
+  return result;
+}
+
+}  // namespace
+
 StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
                                           const quorum::QuorumSystem& system,
                                           const Placement& placement,
@@ -265,23 +362,52 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
     }
   }
 
-  lp::LpProblem problem;
-  // Variables p_vi, indexed v * m + i; objective = w_v * delta_f(v, Q_i)
-  // with w_v = demand share (the flat 1/|V| when unweighted).
+  // Objective coefficients w_v * delta_f(v, Q_i), indexed v * m + i, with
+  // w_v = demand share (the flat 1/|V| when unweighted). Computed once, in
+  // the historical arithmetic order, so every engine prices the same LP and
+  // the Dense path stays bitwise identical to the pre-specialization code.
+  std::vector<double> delay_cost(client_count * m, 0.0);
+  double total_weight = 0.0;
   for (std::size_t v = 0; v < client_count; ++v) {
     const std::vector<double>& row = matrix.row(v);
     const double weight = client_weights.empty() ? inv_clients : client_weights[v];
+    total_weight += weight;
     for (std::size_t i = 0; i < m; ++i) {
       double delta = 0.0;
       for (const auto& [site, count] : quorum_sites[i]) {
         delta = std::max(delta, row[site]);
       }
-      (void)problem.add_variable(delta * weight);
+      delay_cost[v * m + i] = delta * weight;
     }
   }
 
-  // Capacity rows (4.4), one per support site.
   const std::vector<std::size_t> support = placement.support_set();
+
+  // Resolve the Auto/Transportation routes by LP shape.
+  StrategyLpSolver engine = options.solver;
+  if (engine == StrategyLpSolver::Auto || engine == StrategyLpSolver::Transportation) {
+    const bool uncapacitated = capacity_rows_cannot_bind(quorum_sites, support, capacities,
+                                                         matrix.size(), total_weight);
+    if (engine == StrategyLpSolver::Auto) {
+      engine = uncapacitated ? StrategyLpSolver::Transportation : StrategyLpSolver::Revised;
+    } else if (!uncapacitated) {
+      engine = StrategyLpSolver::Revised;  // Caps can bind: specialization unsound.
+    }
+  }
+
+  if (engine == StrategyLpSolver::Transportation) {
+    StrategyLpResult result = solve_transportation(delay_cost, client_count, m);
+    if (result.status == lp::SolveStatus::Optimal) {
+      result.strategy.quorums = quorums;
+      return result;
+    }
+    engine = StrategyLpSolver::Revised;  // Flow failed to saturate; solve exactly.
+  }
+
+  lp::LpProblem problem;
+  for (double cost : delay_cost) (void)problem.add_variable(cost);
+
+  // Capacity rows (4.4), one per support site.
   std::vector<std::size_t> capacity_row(matrix.size(), 0);
   for (std::size_t w : support) {
     capacity_row[w] = problem.add_row(lp::RowSense::LessEqual, capacities[w],
@@ -304,28 +430,38 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
     }
   }
 
-  const lp::SimplexSolver solver{options.simplex};
-  const lp::Solution solution = solver.solve(problem);
-
   StrategyLpResult result;
+  result.solver_used = engine;
+  if (engine == StrategyLpSolver::Dense) {
+    const lp::SimplexSolver solver{options.simplex};
+    const lp::Solution solution = solver.solve(problem);
+    result.status = solution.status;
+    result.lp_iterations = solution.iterations;
+    if (solution.status != lp::SolveStatus::Optimal) return result;
+    result.avg_network_delay = solution.objective;
+    result.strategy.quorums = quorums;
+    fill_strategy_rows(result, solution.values, client_count, m);
+    return result;
+  }
+
+  const lp::RevisedSimplexSolver solver{options.simplex};
+  lp::SolveResult solution = solver.solve(problem);
+  if (solution.status == lp::SolveStatus::IterationLimit &&
+      !options.simplex.initial_basis.empty()) {
+    // A stale warm basis can stall on a reshaped LP; retry once from cold.
+    lp::SimplexOptions cold = options.simplex;
+    cold.initial_basis = {};
+    const std::size_t warm_iterations = solution.iterations;
+    solution = lp::RevisedSimplexSolver{cold}.solve(problem);
+    solution.iterations += warm_iterations;
+  }
   result.status = solution.status;
   result.lp_iterations = solution.iterations;
   if (solution.status != lp::SolveStatus::Optimal) return result;
-
   result.avg_network_delay = solution.objective;
+  result.basis = std::move(solution.basis);
   result.strategy.quorums = quorums;
-  result.strategy.probability.assign(client_count, std::vector<double>(m, 0.0));
-  for (std::size_t v = 0; v < client_count; ++v) {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double p = std::max(0.0, solution.values[v * m + i]);
-      result.strategy.probability[v][i] = p;
-      sum += p;
-    }
-    // Rows sum to 1 up to solver tolerance; normalize exactly.
-    if (sum <= 0.0) throw std::logic_error{"optimize_access_strategy: empty distribution"};
-    for (double& p : result.strategy.probability[v]) p /= sum;
-  }
+  fill_strategy_rows(result, solution.values, client_count, m);
   return result;
 }
 

@@ -209,11 +209,13 @@ std::vector<CapacityPoint> capacity_sweep(const net::LatencyMatrix& matrix,
     std::vector<std::vector<CapacityPoint>> per_level(levels.size());
     common::global_thread_pool().parallel_for(0, levels.size(), [&](std::size_t i) {
       const double level = levels[i];
+      lp::Basis uniform_basis;
       // Uniform capacities cap(v) = c_i.
       {
         const std::vector<double> caps = core::uniform_capacities(matrix.size(), level);
         const core::StrategyLpResult lp =
             core::optimize_access_strategy(matrix, system, search.placement, caps);
+        uniform_basis = lp.basis;
         CapacityPoint point;
         point.universe = k * k;
         point.capacity_level = level;
@@ -231,8 +233,12 @@ std::vector<CapacityPoint> capacity_sweep(const net::LatencyMatrix& matrix,
       if (config.include_nonuniform) {
         const std::vector<double> caps =
             core::nonuniform_capacities(matrix, support, l_opt, level);
-        const core::StrategyLpResult lp =
-            core::optimize_access_strategy(matrix, system, search.placement, caps);
+        // Same placement, same LP shape, different rhs/caps: seed from the
+        // uniform solve's optimal basis when the Revised engine produced one.
+        core::StrategyLpOptions warm_options;
+        warm_options.simplex.initial_basis = uniform_basis;
+        const core::StrategyLpResult lp = core::optimize_access_strategy(
+            matrix, system, search.placement, caps, {}, warm_options);
         CapacityPoint point;
         point.universe = k * k;
         point.capacity_level = level;
@@ -304,6 +310,7 @@ std::vector<IterativePoint> iterative_sweep(const net::LatencyMatrix& matrix,
     const std::vector<double> caps = core::uniform_capacities(matrix.size(), level);
     core::IterativeOptions options;
     options.anchor_candidates = anchors;
+    options.warm_start = config.warm_start;
     const core::IterativeResult iterative =
         core::iterative_placement(matrix, system, caps, config.alpha, options);
     for (const core::IterationRecord& record : iterative.history) {

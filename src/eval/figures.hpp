@@ -150,6 +150,9 @@ struct IterativeSweepConfig {
   double alpha = 0.0;
   /// Interleaved selection over the capacity levels.
   PointShard shard{};
+  /// Forwarded to IterativeOptions::warm_start — the fig8_9 binary exposes
+  /// it as QP_ITER_WARM so CI can compare warm and cold runs.
+  bool warm_start = true;
 };
 
 /// Figure 8.9: network delay of the iterative many-to-one algorithm, per

@@ -1,0 +1,63 @@
+// Sparse revised simplex with an LU-factorized basis and warm starts.
+//
+// This is the production LP engine (the dense tableau SimplexSolver stays as
+// the parity reference). Design:
+//   * column-wise sparse constraint storage — reduced costs and ftran touch
+//     only nonzeros, so cost per pivot scales with fill, not rows x cols;
+//   * the basis is LU-factorized (Gilbert–Peierls left-looking elimination
+//     with partial pivoting) and updated between refactorizations by
+//     product-form eta vectors; it is refactorized from scratch every
+//     `refactor_interval` pivots or when the eta file grows past a fill
+//     budget, whichever comes first;
+//   * Dantzig pricing over a rotating partial window (`pricing_window`),
+//     with the same Bland's-rule fallback as the dense solver after a run of
+//     degenerate pivots;
+//   * warm starts: `SimplexOptions::initial_basis` seeds the basis from a
+//     previous solve of a related LP. Invalid entries are patched with
+//     artificials, a singular seed falls back to the cold basis, and a
+//     primal-infeasible seed is repaired by a composite phase 1 that prices
+//     negative basic variables alongside residual artificials — so a basis
+//     from an LP with slightly different costs / right-hand sides lands a
+//     handful of pivots from optimal instead of restarting from scratch.
+//
+// Everything is single-threaded and allocation-order deterministic: the same
+// problem and options produce bit-identical results for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace qp::lp {
+
+/// Solution of RevisedSimplexSolver: the dense Solution fields plus the
+/// optimal basis, which callers thread into the next related solve via
+/// SimplexOptions::initial_basis.
+struct SolveResult {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0.0;
+  /// Primal values for the structural variables (empty unless Optimal).
+  std::vector<double> values;
+  /// Row duals y (empty unless Optimal), same sign convention as
+  /// SimplexSolver: y_i <= 0 for LessEqual rows at optimality.
+  std::vector<double> duals;
+  std::size_t iterations = 0;
+  /// Optimal basis, one entry per row (empty unless Optimal).
+  Basis basis;
+};
+
+class RevisedSimplexSolver {
+ public:
+  explicit RevisedSimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves min c^T x, Ax {<=,=,>=} b, x >= 0. The problem is consolidated
+  /// (duplicate coefficients merged) as a side effect.
+  [[nodiscard]] SolveResult solve(LpProblem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace qp::lp

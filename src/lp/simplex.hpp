@@ -25,6 +25,35 @@ enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
 
 [[nodiscard]] std::string to_string(SolveStatus status);
 
+/// A simplex basis: the basic variable of each constraint row, exported by
+/// lp::RevisedSimplexSolver at optimality and accepted back through
+/// SimplexOptions::initial_basis to warm-start a related LP. Each entry names
+/// either a structural variable (its index) or the slack/surplus column of a
+/// row (encoded via slack_of). Entries that do not apply to the new problem
+/// (out of range, duplicated, or the slack of an equality row) are patched
+/// with artificials by the importer, so a stale basis degrades gracefully
+/// instead of failing. An empty basis means "cold start".
+struct Basis {
+  /// Encoding base for slack entries; slack_of(r) = kSlackBase + r. High
+  /// enough that no structural variable index can collide.
+  static constexpr std::size_t kSlackBase = std::size_t{1}
+                                            << (8 * sizeof(std::size_t) - 2);
+
+  /// basic[i] = variable basic in row i (structural index or slack_of(row)).
+  std::vector<std::size_t> basic;
+
+  [[nodiscard]] static constexpr std::size_t slack_of(std::size_t row) noexcept {
+    return kSlackBase + row;
+  }
+  [[nodiscard]] static constexpr bool is_slack(std::size_t code) noexcept {
+    return code >= kSlackBase;
+  }
+  [[nodiscard]] static constexpr std::size_t slack_row(std::size_t code) noexcept {
+    return code - kSlackBase;
+  }
+  [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
+};
+
 struct Solution {
   SolveStatus status = SolveStatus::IterationLimit;
   double objective = 0.0;
@@ -47,6 +76,14 @@ struct SimplexOptions {
   std::size_t refactor_interval = 100;
   /// Switch to Bland's rule after this many consecutive degenerate pivots.
   std::size_t degenerate_switch = 40;
+  /// Partial-pricing window for RevisedSimplexSolver: how many candidate
+  /// columns one pricing pass examines before settling for the best reduced
+  /// cost seen (0 = automatic). The dense SimplexSolver always prices fully.
+  std::size_t pricing_window = 0;
+  /// Warm-start basis for RevisedSimplexSolver (one entry per row of the
+  /// problem being solved; see lp::Basis). Ignored by the dense
+  /// SimplexSolver, and ignored when empty or shape-mismatched.
+  Basis initial_basis{};
 };
 
 class SimplexSolver {

@@ -19,6 +19,7 @@
 #include "net/knn_index.hpp"
 #include "net/synthetic.hpp"
 #include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
 #include "sim/scenario.hpp"
 
 namespace qp::core {
@@ -145,6 +146,52 @@ TEST(ClientCandidateIndex, SparseEvaluationStaysExactAcrossMoveSequence) {
                             "fresh rebuild after moves");
   }
   EXPECT_GT(moves, 0u) << "the initial placement was already locally optimal";
+}
+
+TEST(ClientCandidateIndex, DirtyReaccumulationMatchesFullBitwise) {
+  // apply_move with charge lists maintained re-sums only the sites whose
+  // charging multiset changed and reprices only the dirty clients; the pin
+  // is BITWISE equality with the detached evaluator's full O(clients x |Q|)
+  // reaccumulation after every accepted move, for both the Grid and the
+  // Majority closest engines (the load-aware objective arms the load terms).
+  const sim::Scenario scenario = sim::daxlist161_scenario();
+  const ClosestStrategyObjective objective = scenario.closest_objective();
+  const net::KnnIndex knn{scenario.matrix};
+
+  const auto run = [&](const quorum::QuorumSystem& system, const char* name) {
+    Placement placement;
+    placement.site_of.resize(system.universe_size());
+    for (std::size_t u = 0; u < system.universe_size(); ++u) placement.site_of[u] = u;
+
+    DeltaEvaluator full{scenario.matrix, system, placement, objective};
+    DeltaEvaluator dirty{scenario.matrix, system, placement, objective};
+    const ClientCandidateIndex index =
+        ClientCandidateIndex::build(scenario.matrix, &knn, dirty.best_values(), {});
+    dirty.attach_candidate_index(&index);
+
+    std::size_t moves = 0;
+    for (; moves < 12; ++moves) {
+      bool accepted = false;
+      for (std::size_t u = 0; u < system.universe_size() && !accepted; ++u) {
+        for (std::size_t s = 0; s < scenario.site_count() && !accepted; ++s) {
+          if (full.placement().site_of[u] == s) continue;
+          if (full.objective_if_moved(u, s) < full.objective() - 1e-9) {
+            full.apply_move(u, s);
+            dirty.apply_move(u, s);
+            accepted = true;
+          }
+        }
+      }
+      if (!accepted) break;
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(dirty.objective()),
+                std::bit_cast<std::uint64_t>(full.objective()))
+          << name << ": objective diverged after move " << moves;
+    }
+    EXPECT_GT(moves, 0u) << name << ": vacuous pin, nothing moved";
+  };
+
+  run(quorum::GridQuorum{7}, "Grid(7x7)");
+  run(quorum::MajorityQuorum{49, 25}, "Majority(25/49)");
 }
 
 // ------------------------------------- Sparse vs dense local-search parity
