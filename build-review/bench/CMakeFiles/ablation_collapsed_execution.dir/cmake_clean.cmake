@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collapsed_execution.dir/ablation_collapsed_execution.cpp.o"
+  "CMakeFiles/ablation_collapsed_execution.dir/ablation_collapsed_execution.cpp.o.d"
+  "ablation_collapsed_execution"
+  "ablation_collapsed_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collapsed_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

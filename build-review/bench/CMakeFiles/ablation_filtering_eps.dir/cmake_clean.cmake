@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filtering_eps.dir/ablation_filtering_eps.cpp.o"
+  "CMakeFiles/ablation_filtering_eps.dir/ablation_filtering_eps.cpp.o.d"
+  "ablation_filtering_eps"
+  "ablation_filtering_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filtering_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_large_topology.dir/bench_large_topology.cpp.o"
+  "CMakeFiles/bench_large_topology.dir/bench_large_topology.cpp.o.d"
+  "bench_large_topology"
+  "bench_large_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_quorum_zoo.dir/ext_quorum_zoo.cpp.o"
+  "CMakeFiles/ext_quorum_zoo.dir/ext_quorum_zoo.cpp.o.d"
+  "ext_quorum_zoo"
+  "ext_quorum_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quorum_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

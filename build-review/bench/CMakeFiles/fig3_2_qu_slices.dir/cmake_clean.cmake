@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_2_qu_slices.dir/fig3_2_qu_slices.cpp.o"
+  "CMakeFiles/fig3_2_qu_slices.dir/fig3_2_qu_slices.cpp.o.d"
+  "fig3_2_qu_slices"
+  "fig3_2_qu_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_2_qu_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_4_grid_demand.dir/fig6_4_grid_demand.cpp.o"
+  "CMakeFiles/fig6_4_grid_demand.dir/fig6_4_grid_demand.cpp.o.d"
+  "fig6_4_grid_demand"
+  "fig6_4_grid_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_4_grid_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

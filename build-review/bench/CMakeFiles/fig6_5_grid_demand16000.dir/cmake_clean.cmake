@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_5_grid_demand16000.dir/fig6_5_grid_demand16000.cpp.o"
+  "CMakeFiles/fig6_5_grid_demand16000.dir/fig6_5_grid_demand16000.cpp.o.d"
+  "fig6_5_grid_demand16000"
+  "fig6_5_grid_demand16000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_5_grid_demand16000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_5_grid_demand16000.
+# This may be replaced when dependencies are built.

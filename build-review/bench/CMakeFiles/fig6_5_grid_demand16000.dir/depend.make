@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_5_grid_demand16000.
+# This may be replaced when dependencies are built.

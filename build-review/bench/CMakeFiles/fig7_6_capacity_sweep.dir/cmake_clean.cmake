@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_6_capacity_sweep.dir/fig7_6_capacity_sweep.cpp.o"
+  "CMakeFiles/fig7_6_capacity_sweep.dir/fig7_6_capacity_sweep.cpp.o.d"
+  "fig7_6_capacity_sweep"
+  "fig7_6_capacity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_6_capacity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

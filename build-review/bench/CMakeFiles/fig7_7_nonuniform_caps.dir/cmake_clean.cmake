@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_7_nonuniform_caps.dir/fig7_7_nonuniform_caps.cpp.o"
+  "CMakeFiles/fig7_7_nonuniform_caps.dir/fig7_7_nonuniform_caps.cpp.o.d"
+  "fig7_7_nonuniform_caps"
+  "fig7_7_nonuniform_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_7_nonuniform_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_7_nonuniform_caps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_8_fixed_n49.dir/fig7_8_fixed_n49.cpp.o"
+  "CMakeFiles/fig7_8_fixed_n49.dir/fig7_8_fixed_n49.cpp.o.d"
+  "fig7_8_fixed_n49"
+  "fig7_8_fixed_n49.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_8_fixed_n49.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

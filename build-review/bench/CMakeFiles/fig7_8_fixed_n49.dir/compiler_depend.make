@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_8_fixed_n49.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_9_iterative.dir/fig8_9_iterative.cpp.o"
+  "CMakeFiles/fig8_9_iterative.dir/fig8_9_iterative.cpp.o.d"
+  "fig8_9_iterative"
+  "fig8_9_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_9_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_tuner.dir/demand_tuner.cpp.o"
+  "CMakeFiles/demand_tuner.dir/demand_tuner.cpp.o.d"
+  "demand_tuner"
+  "demand_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

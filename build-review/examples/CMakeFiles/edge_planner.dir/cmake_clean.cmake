@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_planner.dir/edge_planner.cpp.o"
+  "CMakeFiles/edge_planner.dir/edge_planner.cpp.o.d"
+  "edge_planner"
+  "edge_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

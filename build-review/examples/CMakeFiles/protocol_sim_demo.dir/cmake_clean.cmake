@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_sim_demo.dir/protocol_sim_demo.cpp.o"
+  "CMakeFiles/protocol_sim_demo.dir/protocol_sim_demo.cpp.o.d"
+  "protocol_sim_demo"
+  "protocol_sim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_sim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

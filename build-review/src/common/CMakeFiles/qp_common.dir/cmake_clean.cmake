@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_common.dir/combinatorics.cpp.o"
+  "CMakeFiles/qp_common.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/qp_common.dir/rng.cpp.o"
+  "CMakeFiles/qp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/qp_common.dir/stats.cpp.o"
+  "CMakeFiles/qp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/qp_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/qp_common.dir/thread_pool.cpp.o.d"
+  "libqp_common.a"
+  "libqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/qp_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/client_index.cpp" "src/core/CMakeFiles/qp_core.dir/client_index.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/client_index.cpp.o.d"
+  "/root/repo/src/core/delta_eval.cpp" "src/core/CMakeFiles/qp_core.dir/delta_eval.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/delta_eval.cpp.o.d"
+  "/root/repo/src/core/eval_workspace.cpp" "src/core/CMakeFiles/qp_core.dir/eval_workspace.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/eval_workspace.cpp.o.d"
+  "/root/repo/src/core/failure_objective.cpp" "src/core/CMakeFiles/qp_core.dir/failure_objective.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/failure_objective.cpp.o.d"
+  "/root/repo/src/core/iterative.cpp" "src/core/CMakeFiles/qp_core.dir/iterative.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/iterative.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/qp_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/manytoone.cpp" "src/core/CMakeFiles/qp_core.dir/manytoone.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/manytoone.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/qp_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/qp_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/response.cpp" "src/core/CMakeFiles/qp_core.dir/response.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/response.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/qp_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/qp_core.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/net/CMakeFiles/qp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lp/CMakeFiles/qp_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/qp_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quorum/CMakeFiles/qp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_core.dir/capacity.cpp.o"
+  "CMakeFiles/qp_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/qp_core.dir/client_index.cpp.o"
+  "CMakeFiles/qp_core.dir/client_index.cpp.o.d"
+  "CMakeFiles/qp_core.dir/delta_eval.cpp.o"
+  "CMakeFiles/qp_core.dir/delta_eval.cpp.o.d"
+  "CMakeFiles/qp_core.dir/eval_workspace.cpp.o"
+  "CMakeFiles/qp_core.dir/eval_workspace.cpp.o.d"
+  "CMakeFiles/qp_core.dir/failure_objective.cpp.o"
+  "CMakeFiles/qp_core.dir/failure_objective.cpp.o.d"
+  "CMakeFiles/qp_core.dir/iterative.cpp.o"
+  "CMakeFiles/qp_core.dir/iterative.cpp.o.d"
+  "CMakeFiles/qp_core.dir/local_search.cpp.o"
+  "CMakeFiles/qp_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/qp_core.dir/manytoone.cpp.o"
+  "CMakeFiles/qp_core.dir/manytoone.cpp.o.d"
+  "CMakeFiles/qp_core.dir/objective.cpp.o"
+  "CMakeFiles/qp_core.dir/objective.cpp.o.d"
+  "CMakeFiles/qp_core.dir/placement.cpp.o"
+  "CMakeFiles/qp_core.dir/placement.cpp.o.d"
+  "CMakeFiles/qp_core.dir/response.cpp.o"
+  "CMakeFiles/qp_core.dir/response.cpp.o.d"
+  "CMakeFiles/qp_core.dir/strategy.cpp.o"
+  "CMakeFiles/qp_core.dir/strategy.cpp.o.d"
+  "libqp_core.a"
+  "libqp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

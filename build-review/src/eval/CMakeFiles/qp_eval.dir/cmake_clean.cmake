@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_eval.dir/figures.cpp.o"
+  "CMakeFiles/qp_eval.dir/figures.cpp.o.d"
+  "CMakeFiles/qp_eval.dir/sim_validation.cpp.o"
+  "CMakeFiles/qp_eval.dir/sim_validation.cpp.o.d"
+  "CMakeFiles/qp_eval.dir/sweeps.cpp.o"
+  "CMakeFiles/qp_eval.dir/sweeps.cpp.o.d"
+  "libqp_eval.a"
+  "libqp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqp_eval.a"
+)

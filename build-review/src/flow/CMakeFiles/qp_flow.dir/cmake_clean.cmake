@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_flow.dir/assignment.cpp.o"
+  "CMakeFiles/qp_flow.dir/assignment.cpp.o.d"
+  "CMakeFiles/qp_flow.dir/mincost_flow.cpp.o"
+  "CMakeFiles/qp_flow.dir/mincost_flow.cpp.o.d"
+  "libqp_flow.a"
+  "libqp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_lp.dir/problem.cpp.o"
+  "CMakeFiles/qp_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/qp_lp.dir/revised_simplex.cpp.o"
+  "CMakeFiles/qp_lp.dir/revised_simplex.cpp.o.d"
+  "CMakeFiles/qp_lp.dir/simplex.cpp.o"
+  "CMakeFiles/qp_lp.dir/simplex.cpp.o.d"
+  "libqp_lp.a"
+  "libqp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/embedding.cpp" "src/net/CMakeFiles/qp_net.dir/embedding.cpp.o" "gcc" "src/net/CMakeFiles/qp_net.dir/embedding.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/qp_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/qp_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/knn_index.cpp" "src/net/CMakeFiles/qp_net.dir/knn_index.cpp.o" "gcc" "src/net/CMakeFiles/qp_net.dir/knn_index.cpp.o.d"
+  "/root/repo/src/net/latency_matrix.cpp" "src/net/CMakeFiles/qp_net.dir/latency_matrix.cpp.o" "gcc" "src/net/CMakeFiles/qp_net.dir/latency_matrix.cpp.o.d"
+  "/root/repo/src/net/matrix_io.cpp" "src/net/CMakeFiles/qp_net.dir/matrix_io.cpp.o" "gcc" "src/net/CMakeFiles/qp_net.dir/matrix_io.cpp.o.d"
+  "/root/repo/src/net/random_graphs.cpp" "src/net/CMakeFiles/qp_net.dir/random_graphs.cpp.o" "gcc" "src/net/CMakeFiles/qp_net.dir/random_graphs.cpp.o.d"
+  "/root/repo/src/net/shortest_paths.cpp" "src/net/CMakeFiles/qp_net.dir/shortest_paths.cpp.o" "gcc" "src/net/CMakeFiles/qp_net.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/net/synthetic.cpp" "src/net/CMakeFiles/qp_net.dir/synthetic.cpp.o" "gcc" "src/net/CMakeFiles/qp_net.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

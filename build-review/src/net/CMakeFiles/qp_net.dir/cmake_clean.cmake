@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_net.dir/embedding.cpp.o"
+  "CMakeFiles/qp_net.dir/embedding.cpp.o.d"
+  "CMakeFiles/qp_net.dir/graph.cpp.o"
+  "CMakeFiles/qp_net.dir/graph.cpp.o.d"
+  "CMakeFiles/qp_net.dir/knn_index.cpp.o"
+  "CMakeFiles/qp_net.dir/knn_index.cpp.o.d"
+  "CMakeFiles/qp_net.dir/latency_matrix.cpp.o"
+  "CMakeFiles/qp_net.dir/latency_matrix.cpp.o.d"
+  "CMakeFiles/qp_net.dir/matrix_io.cpp.o"
+  "CMakeFiles/qp_net.dir/matrix_io.cpp.o.d"
+  "CMakeFiles/qp_net.dir/random_graphs.cpp.o"
+  "CMakeFiles/qp_net.dir/random_graphs.cpp.o.d"
+  "CMakeFiles/qp_net.dir/shortest_paths.cpp.o"
+  "CMakeFiles/qp_net.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/qp_net.dir/synthetic.cpp.o"
+  "CMakeFiles/qp_net.dir/synthetic.cpp.o.d"
+  "libqp_net.a"
+  "libqp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quorum/fpp.cpp" "src/quorum/CMakeFiles/qp_quorum.dir/fpp.cpp.o" "gcc" "src/quorum/CMakeFiles/qp_quorum.dir/fpp.cpp.o.d"
+  "/root/repo/src/quorum/grid.cpp" "src/quorum/CMakeFiles/qp_quorum.dir/grid.cpp.o" "gcc" "src/quorum/CMakeFiles/qp_quorum.dir/grid.cpp.o.d"
+  "/root/repo/src/quorum/majority.cpp" "src/quorum/CMakeFiles/qp_quorum.dir/majority.cpp.o" "gcc" "src/quorum/CMakeFiles/qp_quorum.dir/majority.cpp.o.d"
+  "/root/repo/src/quorum/order_stats.cpp" "src/quorum/CMakeFiles/qp_quorum.dir/order_stats.cpp.o" "gcc" "src/quorum/CMakeFiles/qp_quorum.dir/order_stats.cpp.o.d"
+  "/root/repo/src/quorum/quorum_system.cpp" "src/quorum/CMakeFiles/qp_quorum.dir/quorum_system.cpp.o" "gcc" "src/quorum/CMakeFiles/qp_quorum.dir/quorum_system.cpp.o.d"
+  "/root/repo/src/quorum/singleton.cpp" "src/quorum/CMakeFiles/qp_quorum.dir/singleton.cpp.o" "gcc" "src/quorum/CMakeFiles/qp_quorum.dir/singleton.cpp.o.d"
+  "/root/repo/src/quorum/tree.cpp" "src/quorum/CMakeFiles/qp_quorum.dir/tree.cpp.o" "gcc" "src/quorum/CMakeFiles/qp_quorum.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_quorum.dir/fpp.cpp.o"
+  "CMakeFiles/qp_quorum.dir/fpp.cpp.o.d"
+  "CMakeFiles/qp_quorum.dir/grid.cpp.o"
+  "CMakeFiles/qp_quorum.dir/grid.cpp.o.d"
+  "CMakeFiles/qp_quorum.dir/majority.cpp.o"
+  "CMakeFiles/qp_quorum.dir/majority.cpp.o.d"
+  "CMakeFiles/qp_quorum.dir/order_stats.cpp.o"
+  "CMakeFiles/qp_quorum.dir/order_stats.cpp.o.d"
+  "CMakeFiles/qp_quorum.dir/quorum_system.cpp.o"
+  "CMakeFiles/qp_quorum.dir/quorum_system.cpp.o.d"
+  "CMakeFiles/qp_quorum.dir/singleton.cpp.o"
+  "CMakeFiles/qp_quorum.dir/singleton.cpp.o.d"
+  "CMakeFiles/qp_quorum.dir/tree.cpp.o"
+  "CMakeFiles/qp_quorum.dir/tree.cpp.o.d"
+  "libqp_quorum.a"
+  "libqp_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

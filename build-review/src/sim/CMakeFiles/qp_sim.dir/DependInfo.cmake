@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arrivals.cpp" "src/sim/CMakeFiles/qp_sim.dir/arrivals.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/arrivals.cpp.o.d"
+  "/root/repo/src/sim/client_sites.cpp" "src/sim/CMakeFiles/qp_sim.dir/client_sites.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/client_sites.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/qp_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/qp_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/protocol_sim.cpp" "src/sim/CMakeFiles/qp_sim.dir/protocol_sim.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/protocol_sim.cpp.o.d"
+  "/root/repo/src/sim/retry.cpp" "src/sim/CMakeFiles/qp_sim.dir/retry.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/retry.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/qp_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/service_queue.cpp" "src/sim/CMakeFiles/qp_sim.dir/service_queue.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/service_queue.cpp.o.d"
+  "/root/repo/src/sim/strategy_sampler.cpp" "src/sim/CMakeFiles/qp_sim.dir/strategy_sampler.cpp.o" "gcc" "src/sim/CMakeFiles/qp_sim.dir/strategy_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/qp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quorum/CMakeFiles/qp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/qp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lp/CMakeFiles/qp_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/qp_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_sim.dir/arrivals.cpp.o"
+  "CMakeFiles/qp_sim.dir/arrivals.cpp.o.d"
+  "CMakeFiles/qp_sim.dir/client_sites.cpp.o"
+  "CMakeFiles/qp_sim.dir/client_sites.cpp.o.d"
+  "CMakeFiles/qp_sim.dir/engine.cpp.o"
+  "CMakeFiles/qp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/qp_sim.dir/fault.cpp.o"
+  "CMakeFiles/qp_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/qp_sim.dir/protocol_sim.cpp.o"
+  "CMakeFiles/qp_sim.dir/protocol_sim.cpp.o.d"
+  "CMakeFiles/qp_sim.dir/retry.cpp.o"
+  "CMakeFiles/qp_sim.dir/retry.cpp.o.d"
+  "CMakeFiles/qp_sim.dir/scenario.cpp.o"
+  "CMakeFiles/qp_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/qp_sim.dir/service_queue.cpp.o"
+  "CMakeFiles/qp_sim.dir/service_queue.cpp.o.d"
+  "CMakeFiles/qp_sim.dir/strategy_sampler.cpp.o"
+  "CMakeFiles/qp_sim.dir/strategy_sampler.cpp.o.d"
+  "libqp_sim.a"
+  "libqp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closest_objective_test.dir/closest_objective_test.cpp.o"
+  "CMakeFiles/closest_objective_test.dir/closest_objective_test.cpp.o.d"
+  "closest_objective_test"
+  "closest_objective_test.pdb"
+  "closest_objective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closest_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

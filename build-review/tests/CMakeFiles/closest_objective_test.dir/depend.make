@@ -1,0 +1,2 @@
+# Empty dependencies file for closest_objective_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapsed_test.dir/collapsed_test.cpp.o"
+  "CMakeFiles/collapsed_test.dir/collapsed_test.cpp.o.d"
+  "collapsed_test"
+  "collapsed_test.pdb"
+  "collapsed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapsed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

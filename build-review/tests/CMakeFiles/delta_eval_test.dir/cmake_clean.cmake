@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_eval_test.dir/delta_eval_test.cpp.o"
+  "CMakeFiles/delta_eval_test.dir/delta_eval_test.cpp.o.d"
+  "delta_eval_test"
+  "delta_eval_test.pdb"
+  "delta_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpp_test.dir/fpp_test.cpp.o"
+  "CMakeFiles/fpp_test.dir/fpp_test.cpp.o.d"
+  "fpp_test"
+  "fpp_test.pdb"
+  "fpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

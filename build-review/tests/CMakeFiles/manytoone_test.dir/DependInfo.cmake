@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/manytoone_test.cpp" "tests/CMakeFiles/manytoone_test.dir/manytoone_test.cpp.o" "gcc" "tests/CMakeFiles/manytoone_test.dir/manytoone_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/eval/CMakeFiles/qp_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/qp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/qp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/qp_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quorum/CMakeFiles/qp_quorum.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lp/CMakeFiles/qp_lp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/qp_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manytoone_test.dir/manytoone_test.cpp.o"
+  "CMakeFiles/manytoone_test.dir/manytoone_test.cpp.o.d"
+  "manytoone_test"
+  "manytoone_test.pdb"
+  "manytoone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manytoone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_stress_test.dir/race_stress_test.cpp.o"
+  "CMakeFiles/race_stress_test.dir/race_stress_test.cpp.o.d"
+  "race_stress_test"
+  "race_stress_test.pdb"
+  "race_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_graphs_test.dir/random_graphs_test.cpp.o"
+  "CMakeFiles/random_graphs_test.dir/random_graphs_test.cpp.o.d"
+  "random_graphs_test"
+  "random_graphs_test.pdb"
+  "random_graphs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

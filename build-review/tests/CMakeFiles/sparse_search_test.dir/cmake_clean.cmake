@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_search_test.dir/sparse_search_test.cpp.o"
+  "CMakeFiles/sparse_search_test.dir/sparse_search_test.cpp.o.d"
+  "sparse_search_test"
+  "sparse_search_test.pdb"
+  "sparse_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
