@@ -25,9 +25,11 @@
 // closest-strategy objective.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -46,6 +48,7 @@
 #include "core/placement.hpp"
 #include "net/knn_index.hpp"
 #include "net/synthetic.hpp"
+#include "obs/metrics.hpp"
 #include "quorum/grid.hpp"
 #include "quorum/majority.hpp"
 #include "sim/scenario.hpp"
@@ -222,6 +225,41 @@ int main(int argc, char** argv) {
           state.counters["best_moves"] = static_cast<double>(row.best_moves);
           state.counters["first_moves"] = static_cast<double>(row.first_moves);
         });
+  }
+
+  // --- Observability overhead guard: the instrumented delta local search
+  // with obs metrics recording ON vs OFF (runtime toggle; the binary
+  // compiles the instrumentation in either way), best-of-5 alternating runs
+  // so one scheduler hiccup cannot fake a regression either direction. The
+  // hot-loop contract is batch tallying — a handful of shard stores per
+  // candidate/round, never per client — and CI pins overhead_pct <= 3 on
+  // this row. Results are bitwise identical on/off (tests/obs_test.cpp).
+  {
+    core::LocalSearchOptions options;
+    options.threads = 0;  // Shared pool: thread_pool instrumentation included.
+    options.max_rounds = 2;
+    const bool was_enabled = qp::obs::enabled();
+    double on_ms = std::numeric_limits<double>::infinity();
+    double off_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 5; ++rep) {
+      qp::obs::set_enabled(true);
+      on_ms = std::min(
+          on_ms, time_local_search_ms(matrix, grid, configs[0].placement, options));
+      qp::obs::set_enabled(false);
+      off_ms = std::min(
+          off_ms, time_local_search_ms(matrix, grid, configs[0].placement, options));
+    }
+    qp::obs::set_enabled(was_enabled);
+    const double overhead_pct = 100.0 * (on_ms - off_ms) / off_ms;
+    std::cout << "# Observability overhead: instrumented local search, obs on vs off\n"
+              << "on_ms,off_ms,overhead_pct\n"
+              << on_ms << ',' << off_ms << ',' << overhead_pct << '\n';
+    qp::bench::register_point("EvalKernels/obs_overhead/local_search",
+                              [on_ms, off_ms, overhead_pct](benchmark::State& state) {
+                                state.counters["on_ms"] = on_ms;
+                                state.counters["off_ms"] = off_ms;
+                                state.counters["overhead_pct"] = overhead_pct;
+                              });
   }
 
   // --- Genuine timing benchmarks of the individual kernels.

@@ -16,12 +16,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "core/local_search.hpp"
 #include "core/placement.hpp"
+#include "core/strategy.hpp"
 #include "eval/sim_validation.hpp"
 #include "eval/sweeps.hpp"
 #include "net/synthetic.hpp"
@@ -65,6 +69,79 @@ void BM_EngineGridRho(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineGridRho)->Arg(6)->Arg(9)->Unit(benchmark::kMillisecond);
 
+/// Placement-pipeline row: hill-climb the constructive Grid placement
+/// (core/local_search over the delta evaluator on the shared pool), re-solve
+/// the strategy LP on the improved placement, then run the engine on it with
+/// time-series probes enabled. One row that walks all four instrumented
+/// layers — the CI trace smoke (QP_TRACE + tools/check_trace.py) relies on
+/// it to see core.local_search, lp.*, sim.engine, and common.thread_pool
+/// spans in a single binary run. QP_TIMESERIES=<path> additionally writes
+/// the probe rows as CSV (sim::write_engine_timeseries_csv).
+void run_pipeline_row(bool smoke) {
+  const net::LatencyMatrix matrix = net::planetlab50_synth();
+  const quorum::GridQuorum grid{7};
+  const core::Placement seed = core::best_grid_placement(matrix, 7).placement;
+  // A dedicated 2-thread pool so the pooled parallel_for path (and its
+  // common.thread_pool trace spans) runs even on single-core machines,
+  // where the shared global pool degrades to inline execution. Results are
+  // bit-identical for any thread setting.
+  common::ThreadPool pool{2};
+  core::LocalSearchOptions search_options;
+  search_options.max_rounds = smoke ? 4 : 64;
+  search_options.threads = 2;
+  const core::LocalSearchResult search =
+      core::local_search_placement(matrix, grid, seed, search_options);
+
+  const std::vector<double> caps(matrix.size(), 1.25 * grid.optimal_load());
+  const core::StrategyLpResult lp =
+      core::optimize_access_strategy(matrix, grid, search.placement, caps);
+
+  sim::EngineConfig config;
+  config.warmup_ms = 200.0;
+  config.duration_ms = smoke ? 1'000.0 : 5'000.0;
+  config.replications = smoke ? 1 : 3;
+  config.master_seed = 71;
+  config.probe_interval_ms = smoke ? 100.0 : 250.0;
+  config.pool = &pool;
+  if (lp.status == lp::SolveStatus::Optimal) {
+    config.strategy = sim::EngineStrategy::Explicit;
+  }
+  const std::vector<double> site_load =
+      lp.status == lp::SolveStatus::Optimal
+          ? core::site_loads_explicit(lp.strategy, search.placement, matrix.size())
+          : core::site_loads_balanced(grid, search.placement, matrix.size());
+  const std::vector<double> rates = sim::scale_rates_to_peak_utilization(
+      std::vector<double>(matrix.size(), 1.0), site_load, 1.0, 0.6);
+  sim::EngineResult result;
+  {
+    // Scope the explicit strategy to outlive the run only.
+    config.explicit_strategy =
+        lp.status == lp::SolveStatus::Optimal ? &lp.strategy : nullptr;
+    result = run_engine(matrix, grid, search.placement, rates, config);
+  }
+
+  std::size_t probes = 0;
+  for (const sim::ReplicationResult& r : result.replications) probes += r.probes.size();
+  if (const char* path = std::getenv("QP_TIMESERIES")) {
+    std::ofstream out{path};
+    if (out) sim::write_engine_timeseries_csv(result, out);
+  }
+
+  const double search_moves = static_cast<double>(search.moves);
+  const double lp_iterations = static_cast<double>(lp.lp_iterations);
+  const double probe_rows = static_cast<double>(probes);
+  const double completed = static_cast<double>(result.completed);
+  qp::bench::register_point(
+      "SimValidation/pipeline/local-search+lp+probed-engine",
+      [=, mean = result.mean_response_ms](benchmark::State& state) {
+        state.counters["search_moves"] = search_moves;
+        state.counters["lp_iterations"] = lp_iterations;
+        state.counters["probe_rows"] = probe_rows;
+        state.counters["completed"] = completed;
+        state.counters["simulated_ms"] = mean;
+      });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,6 +178,7 @@ int main(int argc, char** argv) {
     points.insert(points.end(), rows.begin(), rows.end());
   }
   eval::print_csv(std::cout, points);
+  run_pipeline_row(smoke);
 
   for (const auto& p : points) {
     char rho[32];

@@ -19,11 +19,20 @@ produce disjoint figures, but the merge also handles overlapping files:
     embed differing wall-clock columns; their rows are unioned too, with a
     warning, so check the data columns if an overlap was unexpected. A
     duplicate with a *different header* only warns and keeps the first.
+  * OBS_*.json   — observability metric exports (run_all.sh --metrics, one
+    per figure binary from the obs/metrics registry): metrics are unioned
+    by name with the same order-independent semantics the registry uses to
+    merge thread shards — counter values and histogram counts/buckets sum,
+    gauges take the maximum over shards that set them, histogram min/max
+    fold, and the p50/p95/p99 summaries are recomputed from the merged
+    buckets. A name appearing with two different kinds warns and keeps the
+    first.
 
 Exit status is non-zero on malformed JSON or no inputs.
 """
 
 import json
+import math
 import shutil
 import sys
 from pathlib import Path
@@ -52,6 +61,84 @@ def merge_json(target: Path, source: Path) -> None:
         if bench.get("name") not in seen:
             merged.setdefault("benchmarks", []).append(bench)
             seen.add(bench.get("name"))
+    with target.open("w") as fh:
+        json.dump(merged, fh, indent=1)
+        fh.write("\n")
+
+
+def histogram_percentile(metric: dict, p: float) -> float:
+    """Mirrors obs::HistogramSnapshot::percentile: the upper bound of the
+    bucket holding rank ceil(count * p / 100), clamped to the observed max
+    (bucket b's upper bound is 2^(b-21); the overflow bucket reports max)."""
+    count = metric["count"]
+    if count == 0:
+        return 0.0
+    if p <= 0.0:
+        return metric["min"]
+    rank = max(1, math.ceil(count * min(p, 100.0) / 100.0))
+    seen = 0
+    buckets = metric["buckets"]
+    for b, n in enumerate(buckets):
+        seen += n
+        if seen >= rank:
+            if b + 1 >= len(buckets):
+                return metric["max"]
+            return min(2.0 ** (b - 21), metric["max"])
+    return metric["max"]
+
+
+def merge_obs_metric(kept: dict, incoming: dict, source: Path) -> None:
+    """Folds `incoming` into `kept` with the registry's shard-merge rules."""
+    if kept.get("kind") != incoming.get("kind"):
+        print(
+            f"warning: {source}: metric {kept.get('name')!r} kind "
+            f"{incoming.get('kind')} differs from merged {kept.get('kind')}; "
+            f"keeping the first",
+            file=sys.stderr,
+        )
+        return
+    kind = kept.get("kind")
+    if kind == "counter":
+        kept["value"] += incoming["value"]
+    elif kind == "gauge":
+        if incoming.get("set"):
+            if kept.get("set"):
+                kept["value"] = max(kept["value"], incoming["value"])
+            else:
+                kept["set"] = True
+                kept["value"] = incoming["value"]
+    elif kind == "histogram":
+        if incoming["count"] == 0:
+            return
+        if kept["count"] == 0:
+            kept["min"], kept["max"] = incoming["min"], incoming["max"]
+        else:
+            kept["min"] = min(kept["min"], incoming["min"])
+            kept["max"] = max(kept["max"], incoming["max"])
+        kept["count"] += incoming["count"]
+        kept["buckets"] = [a + b for a, b in zip(kept["buckets"], incoming["buckets"])]
+        for key, p in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0)):
+            kept[key] = histogram_percentile(kept, p)
+
+
+def merge_obs(target: Path, source: Path) -> None:
+    with source.open() as fh:
+        incoming = json.load(fh)
+    if not target.exists():
+        with target.open("w") as fh:
+            json.dump(incoming, fh, indent=1)
+            fh.write("\n")
+        return
+    with target.open() as fh:
+        merged = json.load(fh)
+    by_name = {m.get("name"): m for m in merged.get("metrics", [])}
+    for metric in incoming.get("metrics", []):
+        kept = by_name.get(metric.get("name"))
+        if kept is None:
+            merged.setdefault("metrics", []).append(metric)
+            by_name[metric.get("name")] = metric
+        else:
+            merge_obs_metric(kept, metric, source)
     with target.open("w") as fh:
         json.dump(merged, fh, indent=1)
         fh.write("\n")
@@ -102,6 +189,8 @@ def main(argv: list[str]) -> int:
         for source in sorted(shard.glob("BENCH_*.json")):
             merge_json(merged_dir / source.name, source)
             merged_files += 1
+        for source in sorted(shard.glob("OBS_*.json")):
+            merge_obs(merged_dir / source.name, source)
         for source in sorted(shard.glob("*.csv")):
             merge_csv(merged_dir / source.name, source)
     if merged_files == 0:

@@ -3,7 +3,7 @@
 # BENCH_<name>.json (google-benchmark JSON) plus the figure's CSV series
 # per binary.  Seeds the perf trajectory the ROADMAP north-star tracks.
 #
-# Usage:  bench/run_all.sh [output-dir] [--shard K/N] [--points K/N]
+# Usage:  bench/run_all.sh [output-dir] [--shard K/N] [--points K/N] [--metrics]
 #   --shard K/N    run only the K-th of N shards (1-based): every N-th
 #                  figure binary, interleaved, so N hosts (or processes) can
 #                  split the sweep and later combine their output dirs with
@@ -18,6 +18,12 @@
 #                  point) fan out across hosts; recombine with
 #                  bench/merge_shards.py, which unions the per-figure
 #                  benchmark arrays and CSV rows.
+#   --metrics      drop each figure binary's observability metrics (the
+#                  obs/metrics registry: counters, gauges, histograms) as
+#                  OBS_<name>.json next to its BENCH_<name>.json, via the
+#                  QP_OBS_EXPORT at-exit hook. merge_shards.py unions these
+#                  across shard dirs (counters and histogram buckets sum,
+#                  gauges and min/max fold).
 #   BUILD_DIR=...  override the build tree (default: build/release)
 #   FILTER=regex   only run benchmarks whose name matches the regex
 set -euo pipefail
@@ -29,8 +35,13 @@ FILTER="${FILTER:-}"
 OUT_DIR=""
 SHARD=""
 POINTS=""
+METRICS=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    --metrics)
+      METRICS=1
+      shift
+      ;;
     --shard)
       SHARD="${2:?--shard requires K/N}"
       shift 2
@@ -131,6 +142,10 @@ for bin in "${benches[@]}"; do
     continue
   fi
   echo "== ${name}"
+  # --metrics: the obs registry writes its JSON export at process exit.
+  if (( METRICS )); then
+    export QP_OBS_EXPORT="${OUT_DIR}/OBS_${name}.json"
+  fi
   # stdout is the figure's CSV series followed by google-benchmark's console
   # table (which starts at a dashed separator); keep only the CSV part.
   "${bin}" \

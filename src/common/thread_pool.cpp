@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -8,6 +9,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace qp::common {
 
@@ -18,6 +22,24 @@ namespace {
 /// caller thread, which participates in the work) and degrade to inline
 /// serial execution instead of deadlocking.
 thread_local const ThreadPool* current_pool = nullptr;
+
+// Pool telemetry: job/index throughput, how long callers wait on done_cv
+// after finishing their own share, and how long workers stay busy per job
+// (the busy-fraction numerator; divide busy_ms totals by wall time). Clock
+// reads are skipped entirely when obs is disabled.
+const obs::Counter c_jobs = obs::counter("common.thread_pool.jobs");
+const obs::Counter c_indices = obs::counter("common.thread_pool.indices");
+const obs::Counter c_inline_jobs = obs::counter("common.thread_pool.inline_jobs");
+const obs::Histogram h_caller_wait =
+    obs::histogram("common.thread_pool.caller_wait_ms");
+const obs::Histogram h_worker_busy =
+    obs::histogram("common.thread_pool.worker_busy_ms");
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 }  // namespace
 
@@ -66,7 +88,16 @@ struct ThreadPool::Impl {
         if (stop) return;
         seen_generation = generation;
       }
-      run_indices();
+      if (obs::enabled()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        run_indices();
+        h_worker_busy.record(ms_since(t0));
+      } else {
+        run_indices();
+      }
+      // Workers can park for long stretches; push any buffered trace spans
+      // now so traces stay current (no-op when tracing is off).
+      obs::trace_flush_current_thread();
       {
         std::lock_guard<std::mutex> lock{mutex};
         if (--busy_workers == 0) done_cv.notify_all();
@@ -109,9 +140,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
   if (impl_->workers.empty() || current_pool == this) {
+    c_inline_jobs.add();
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
+  QP_TRACE_SPAN("common.thread_pool.parallel_for");
+  c_jobs.add();
+  c_indices.add(end - begin);
   const std::lock_guard<std::mutex> submit_lock{impl_->submit_mutex};
   {
     std::lock_guard<std::mutex> lock{impl_->mutex};
@@ -132,6 +167,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   current_pool = previous;
 
   std::unique_lock<std::mutex> lock{impl_->mutex};
+  if (obs::enabled() && impl_->busy_workers != 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    impl_->done_cv.wait(lock, [&] { return impl_->busy_workers == 0; });
+    h_caller_wait.record(ms_since(t0));
+  }
   impl_->done_cv.wait(lock, [&] { return impl_->busy_workers == 0; });
   impl_->body = nullptr;
   if (impl_->first_error) {

@@ -8,12 +8,37 @@
 #include "common/check.hpp"
 #include "common/simd_kernels.hpp"
 #include "core/client_index.hpp"
+#include "obs/metrics.hpp"
 #include "quorum/grid.hpp"
 #include "quorum/majority.hpp"
 
 namespace qp::core {
 
 namespace {
+
+// Candidate-evaluation telemetry: which dispatch path served each
+// objective_if_moved call, plus per-client classification tallies for the
+// closest engines (pruned = provably unchanged, kept = slot retained,
+// recomputed = full quorum re-choice). Tallies are accumulated into stack
+// locals and recorded with one or two shard adds per *call* — never per
+// client — so the per-candidate overhead stays flat.
+const obs::Counter c_de_candidates = obs::counter("core.delta_eval.candidates");
+const obs::Counter c_de_fast = obs::counter("core.delta_eval.fast_path");
+const obs::Counter c_de_general =
+    obs::counter("core.delta_eval.general_fallbacks");
+const obs::Counter c_de_closest_full =
+    obs::counter("core.delta_eval.closest_full_scans");
+const obs::Counter c_de_closest_indexed =
+    obs::counter("core.delta_eval.closest_indexed_scans");
+const obs::Counter c_de_pruned =
+    obs::counter("core.delta_eval.closest_clients_pruned");
+const obs::Counter c_de_kept =
+    obs::counter("core.delta_eval.closest_clients_kept");
+const obs::Counter c_de_recomputed =
+    obs::counter("core.delta_eval.closest_clients_recomputed");
+const obs::Counter c_de_apply = obs::counter("core.delta_eval.apply_moves");
+const obs::Counter c_de_rebuilds =
+    obs::counter("core.delta_eval.apply_rebuilds");
 
 constexpr std::size_t kEnumerationLimit = 50'000;
 
@@ -470,6 +495,7 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
   QP_CHECK(site < clients_, "objective_if_moved: site out of range");
   const std::size_t old_site = placement_.site_of[element];
   if (site == old_site) return objective();
+  c_de_candidates.add();
   if (closest_) {
     return candidate_index_ != nullptr ? closest_if_moved_indexed(element, site)
                                        : closest_if_moved(element, site);
@@ -481,11 +507,13 @@ double DeltaEvaluator::objective_if_moved(std::size_t element, std::size_t site)
   double new_add = 0.0;
   if (load_aware_) {
     if (hosted_count_[old_site] != 1 || hosted_count_[site] != 0) {
+      c_de_general.add();
       return objective_if_moved_general(element, site);
     }
     old_add = site_term_[old_site];
     new_add = alpha_ * (site_load_[site] + lambda_[element]);
   }
+  c_de_fast.add();
   double total = 0.0;
   switch (mode_) {
     case Mode::SortedWeights: {
@@ -751,6 +779,9 @@ double DeltaEvaluator::closest_if_moved(std::size_t element, std::size_t site) c
   const std::size_t r0 = mode_ == Mode::ClosestGrid ? element / k : 0;
   const std::size_t c0 = mode_ == Mode::ClosestGrid ? element % k : 0;
 
+  c_de_closest_full.add();
+  std::size_t n_kept = 0;
+  std::size_t n_recomputed = 0;
   // Pass 1: classify every client's quorum choice (keep / keep-with-moved-u
   // / recompute) and accumulate the load deltas of the flips.
   for (std::size_t v = 0; v < clients_; ++v) {
@@ -763,6 +794,7 @@ double DeltaEvaluator::closest_if_moved(std::size_t element, std::size_t site) c
         (majority_q_ == n_ || d_new < second_value_[v])) {
       // u keeps its slot: the chosen set is unchanged, only u's charge moves.
       tl_state[v] = 1;
+      ++n_kept;
       if (load) {
         const double w = charge_weight(v);
         tl_load[old_site] -= w;
@@ -771,6 +803,7 @@ double DeltaEvaluator::closest_if_moved(std::size_t element, std::size_t site) c
       continue;
     }
     tl_state[v] = 2;
+    ++n_recomputed;
     tl_off[v] = tl_chosen.size();
     switch (mode_) {
       case Mode::ClosestMajority:
@@ -816,6 +849,9 @@ double DeltaEvaluator::closest_if_moved(std::size_t element, std::size_t site) c
       }
     }
   }
+  c_de_pruned.add(clients_ - n_kept - n_recomputed);
+  c_de_kept.add(n_kept);
+  c_de_recomputed.add(n_recomputed);
 
   // Pass 2: reprice every client's chosen quorum under the candidate loads.
   double total = 0.0;
@@ -1134,6 +1170,11 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
   sc.touched.clear();
   sc.reprice.clear();
 
+  c_de_closest_indexed.add();
+  std::size_t n_scanned = 0;
+  std::size_t n_kept = 0;
+  std::size_t n_recomputed = 0;
+
   const std::size_t old_site = placement_.site_of[element];
   const bool load = alpha_ != 0.0;
   const std::size_t k = side_;
@@ -1161,6 +1202,7 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
     if (sc.client_mark[v] == sc.epoch) return;
     sc.client_mark[v] = sc.epoch;
     sc.client_state[v] = 0;
+    ++n_scanned;
     const double d_new = site_rtt(v, site);
     const bool contains_u = mode_ == Mode::ClosestGrid
                                 ? (chosen_row_[v] == r0 || chosen_col_[v] == c0)
@@ -1169,6 +1211,7 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
     if (mode_ == Mode::ClosestMajority && contains_u &&
         (majority_q_ == n_ || d_new < second_value_[v])) {
       sc.client_state[v] = 1;
+      ++n_kept;
       if (load) {
         const double w = charge_weight(v);
         touch(old_site, -w);
@@ -1216,6 +1259,7 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
         // unchanged, only u's charge moves (the grid analogue of the
         // majority shortcut above).
         sc.client_state[v] = 1;
+        ++n_kept;
         if (load) {
           const double w = charge_weight(v);
           touch(old_site, -w);
@@ -1225,6 +1269,7 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
         return;
       }
       sc.client_state[v] = 2;
+      ++n_recomputed;
       sc.flip_off[v] = sc.chosen.size();
       for_each_grid_element(k, best_r, best_c,
                             [&](std::size_t e) { sc.chosen.push_back(e); });
@@ -1241,6 +1286,7 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
       return;
     }
     sc.client_state[v] = 2;
+    ++n_recomputed;
     sc.flip_off[v] = sc.chosen.size();
     switch (mode_) {
       case Mode::ClosestMajority:
@@ -1274,6 +1320,9 @@ double DeltaEvaluator::closest_if_moved_indexed(std::size_t element,
   for (std::size_t v : charge_lists_[old_site]) classify(v);
   for (std::size_t v : candidate_index_->clients_of(site)) classify(v);
   for (std::size_t v : overflow_clients_) classify(v);
+  c_de_pruned.add(n_scanned - n_kept - n_recomputed);
+  c_de_kept.add(n_kept);
+  c_de_recomputed.add(n_recomputed);
 
   // Clients charging a load-touched site reprice even when their choice is
   // provably unchanged — the load term under their chosen quorum moved.
@@ -1339,6 +1388,7 @@ void DeltaEvaluator::apply_move(std::size_t element, std::size_t site) {
     throw std::out_of_range{"DeltaEvaluator::apply_move: element or site out of range"};
   }
   const std::size_t old_site = placement_.site_of[element];
+  c_de_apply.add();
   if (closest_) {
     if (site != old_site) apply_move_closest(element, site);
   } else if (site == old_site) {
@@ -1348,6 +1398,7 @@ void DeltaEvaluator::apply_move(std::size_t element, std::size_t site) {
     // Colocating (or de-colocating) load-aware move: many coordinates shift,
     // so rebuild from scratch. The one-to-one local search never takes this
     // path; it exists for arbitrary apply_move callers.
+    c_de_rebuilds.add();
     placement_.site_of[element] = site;
     rebuild();
   } else {

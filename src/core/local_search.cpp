@@ -9,10 +9,23 @@
 #include "common/thread_pool.hpp"
 #include "core/client_index.hpp"
 #include "core/delta_eval.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace qp::core {
 
 namespace {
+
+// Search telemetry (shared by both engines): candidates scanned, moves
+// taken, rounds, and index rebuilds. Counts are tallied in bulk per round —
+// never per candidate — so the instrumented hot loop is unchanged.
+const obs::Counter c_ls_candidates = obs::counter("core.local_search.candidates");
+const obs::Counter c_ls_moves = obs::counter("core.local_search.moves_accepted");
+const obs::Counter c_ls_rounds = obs::counter("core.local_search.rounds");
+const obs::Counter c_ls_rebuilds =
+    obs::counter("core.local_search.index_rebuilds");
+const obs::Counter c_ls_naive_runs = obs::counter("core.local_search.naive_runs");
+const obs::Counter c_ls_delta_runs = obs::counter("core.local_search.delta_runs");
 
 /// One relocation candidate: move `element` to (currently unused) `site`.
 struct Candidate {
@@ -30,6 +43,8 @@ LocalSearchResult local_search_naive(const net::LatencyMatrix& matrix,
                                      const quorum::QuorumSystem& system,
                                      const Placement& initial, const Objective& objective,
                                      const LocalSearchOptions& options) {
+  QP_TRACE_SPAN("core.local_search.naive");
+  c_ls_naive_runs.add();
   LocalSearchResult result;
   result.placement = initial;
   result.objective = objective.evaluate(matrix, system, result.placement);
@@ -40,6 +55,9 @@ LocalSearchResult local_search_naive(const net::LatencyMatrix& matrix,
   const bool first_improvement =
       options.strategy == LocalSearchStrategy::FirstImprovement;
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    QP_TRACE_SPAN("core.local_search.pass");
+    c_ls_rounds.add();
+    std::size_t scanned = 0;
     double best_objective = result.objective;
     std::size_t best_element = 0;
     std::size_t best_site = 0;
@@ -52,6 +70,7 @@ LocalSearchResult local_search_naive(const net::LatencyMatrix& matrix,
         if (used[w]) continue;
         result.placement.site_of[u] = w;
         const double candidate = objective.evaluate(matrix, system, result.placement);
+        ++scanned;
         if (candidate < best_objective - options.min_improvement) {
           best_objective = candidate;
           best_element = u;
@@ -63,12 +82,14 @@ LocalSearchResult local_search_naive(const net::LatencyMatrix& matrix,
       result.placement.site_of[u] = original;
       if (found && first_improvement) break;
     }
+    c_ls_candidates.add(scanned);
     if (!found) break;
     used[result.placement.site_of[best_element]] = false;
     used[best_site] = true;
     result.placement.site_of[best_element] = best_site;
     result.objective = best_objective;
     ++result.moves;
+    c_ls_moves.add();
   }
   return result;
 }
@@ -77,6 +98,8 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
                                      const quorum::QuorumSystem& system,
                                      const Placement& initial, const Objective& objective,
                                      const LocalSearchOptions& options) {
+  QP_TRACE_SPAN("core.local_search.delta");
+  c_ls_delta_runs.add();
   const net::LatencyMatrix* matrix = space.as_matrix();
   DeltaEvaluator eval{space, system, initial, objective};
 
@@ -138,6 +161,8 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
   std::vector<net::KnnIndex::Neighbor> neighbors;
   std::vector<std::size_t> targets;
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    QP_TRACE_SPAN("core.local_search.pass");
+    c_ls_rounds.add();
     const double current = eval.objective();
     candidates.clear();
     if (options.candidate_knn == 0) {
@@ -180,6 +205,7 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
     // the candidate-ordered objectives, so the selected move (and its
     // tie-breaking) is identical for any thread count.
     std::size_t best_index = candidates.size();
+    std::size_t evaluated = 0;
     if (first_improvement) {
       // Evaluate fixed-size blocks and accept the lowest improving index;
       // which index wins does not depend on the block size.
@@ -189,6 +215,7 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
         const std::size_t end =
             std::min(candidates.size(), begin + kFirstImprovementBlock);
         evaluate_range(begin, end);
+        evaluated += end - begin;
         for (std::size_t i = begin; i < end; ++i) {
           if (objectives[i] < current - options.min_improvement) {
             best_index = i;
@@ -198,6 +225,7 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
       }
     } else {
       evaluate_range(0, candidates.size());
+      evaluated = candidates.size();
       double best_objective = current;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         if (objectives[i] < best_objective - options.min_improvement) {
@@ -206,11 +234,13 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
         }
       }
     }
+    c_ls_candidates.add(evaluated);
     if (best_index == candidates.size()) break;
     used[eval.placement().site_of[candidates[best_index].element]] = false;
     used[candidates[best_index].site] = true;
     eval.apply_move(candidates[best_index].element, candidates[best_index].site);
     ++result.moves;
+    c_ls_moves.add();
     if (reindex && ++moves_since_reindex >= options.client_index_rebuild) {
       // Fresh lists match the current m1 radii (tight coverage, empty
       // overflow set); exactness never depended on the list contents.
@@ -219,6 +249,7 @@ LocalSearchResult local_search_delta(const net::LatencySpace& space,
       client_index = std::move(rebuilt);
       eval.attach_candidate_index(&*client_index);
       moves_since_reindex = 0;
+      c_ls_rebuilds.add();
     }
   }
 

@@ -8,8 +8,28 @@
 
 #include "flow/mincost_flow.hpp"
 #include "lp/revised_simplex.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace qp::core {
+
+namespace {
+
+// Strategy-LP engine telemetry: which route each solve took (Auto's choice
+// is otherwise invisible to callers that ignore solver_used), total simplex
+// iterations, and whether a supplied warm basis carried the solve or
+// stalled into the cold retry.
+const obs::Counter c_slp_solves = obs::counter("lp.strategy.solves");
+const obs::Counter c_slp_dense = obs::counter("lp.strategy.solver_dense");
+const obs::Counter c_slp_revised = obs::counter("lp.strategy.solver_revised");
+const obs::Counter c_slp_transportation =
+    obs::counter("lp.strategy.solver_transportation");
+const obs::Counter c_slp_iterations = obs::counter("lp.strategy.iterations");
+const obs::Counter c_slp_warm_hit = obs::counter("lp.strategy.warm_start_hit");
+const obs::Counter c_slp_warm_miss =
+    obs::counter("lp.strategy.warm_start_miss");
+
+}  // namespace
 
 void ExplicitStrategy::validate(std::size_t client_count, std::size_t universe_size,
                                 double tolerance) const {
@@ -323,6 +343,8 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
                                           std::span<const double> capacities,
                                           std::span<const double> client_weights,
                                           const StrategyLpOptions& options) {
+  QP_TRACE_SPAN("lp.strategy.optimize");
+  c_slp_solves.add();
   placement.validate(matrix.size());
   if (capacities.size() != matrix.size()) {
     throw std::invalid_argument{"optimize_access_strategy: capacities size mismatch"};
@@ -398,6 +420,7 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
   if (engine == StrategyLpSolver::Transportation) {
     StrategyLpResult result = solve_transportation(delay_cost, client_count, m);
     if (result.status == lp::SolveStatus::Optimal) {
+      c_slp_transportation.add();
       result.strategy.quorums = quorums;
       return result;
     }
@@ -435,6 +458,8 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
   if (engine == StrategyLpSolver::Dense) {
     const lp::SimplexSolver solver{options.simplex};
     const lp::Solution solution = solver.solve(problem);
+    c_slp_dense.add();
+    c_slp_iterations.add(solution.iterations);
     result.status = solution.status;
     result.lp_iterations = solution.iterations;
     if (solution.status != lp::SolveStatus::Optimal) return result;
@@ -446,14 +471,21 @@ StrategyLpResult optimize_access_strategy(const net::LatencyMatrix& matrix,
 
   const lp::RevisedSimplexSolver solver{options.simplex};
   lp::SolveResult solution = solver.solve(problem);
+  bool warm_stalled = false;
   if (solution.status == lp::SolveStatus::IterationLimit &&
       !options.simplex.initial_basis.empty()) {
     // A stale warm basis can stall on a reshaped LP; retry once from cold.
+    warm_stalled = true;
     lp::SimplexOptions cold = options.simplex;
     cold.initial_basis = {};
     const std::size_t warm_iterations = solution.iterations;
     solution = lp::RevisedSimplexSolver{cold}.solve(problem);
     solution.iterations += warm_iterations;
+  }
+  c_slp_revised.add();
+  c_slp_iterations.add(solution.iterations);
+  if (!options.simplex.initial_basis.empty()) {
+    (warm_stalled ? c_slp_warm_miss : c_slp_warm_hit).add();
   }
   result.status = solution.status;
   result.lp_iterations = solution.iterations;

@@ -11,6 +11,7 @@
 #include "core/placement.hpp"
 #include "core/response.hpp"
 #include "core/strategy.hpp"
+#include "obs/trace.hpp"
 #include "quorum/grid.hpp"
 #include "quorum/majority.hpp"
 #include "sim/engine.hpp"
@@ -222,6 +223,7 @@ std::vector<SimValidationPoint> run_figure(const net::LatencyMatrix& matrix,
 
 std::vector<SimValidationPoint> sim_validation_sweep(const net::LatencyMatrix& matrix,
                                                      const SimValidationConfig& config) {
+  QP_TRACE_SPAN("eval.sim_validation.sweep");
   const quorum::GridQuorum grid{7};
   const quorum::MajorityQuorum majority{49, 25};
   if (matrix.size() < grid.universe_size()) {

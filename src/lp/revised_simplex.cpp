@@ -4,9 +4,20 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace qp::lp {
 
 namespace {
+
+// Solver telemetry: totals across solves plus the largest eta file any
+// single factorization carried (the fill the ftran/btran sweeps pay for).
+const obs::Counter c_rs_solves = obs::counter("lp.revised.solves");
+const obs::Counter c_rs_iterations = obs::counter("lp.revised.iterations");
+const obs::Counter c_rs_refactorizations =
+    obs::counter("lp.revised.refactorizations");
+const obs::Gauge g_rs_eta_len_max = obs::gauge("lp.revised.eta_len_max");
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
@@ -303,6 +314,15 @@ class RevisedState {
     return result;
   }
 
+  [[nodiscard]] std::size_t refactor_count() const noexcept {
+    return refactor_count_;
+  }
+  /// Largest eta file any factorization carried, counting the one live at
+  /// exit (short solves may never hit the refactor schedule).
+  [[nodiscard]] std::size_t eta_len_max() const noexcept {
+    return std::max(eta_len_max_, etas_.size());
+  }
+
  private:
   std::size_t add_unit_column(std::size_t row, double value) {
     columns_.push_back({ColumnEntry{row, value}});
@@ -353,6 +373,8 @@ class RevisedState {
   /// Refactorizes the basis and recomputes xB; drops the eta file. Returns
   /// false on a singular basis.
   [[nodiscard]] bool refactorize() {
+    ++refactor_count_;
+    eta_len_max_ = std::max(eta_len_max_, etas_.size());
     if (!lu_.factor(columns_, basis_, rows_, 1e-12)) return false;
     etas_.clear();
     eta_nnz_ = 0;
@@ -574,6 +596,10 @@ class RevisedState {
   SparseLu lu_;
   std::vector<Eta> etas_;
   std::size_t eta_nnz_ = 0;
+  // Telemetry only (exported through obs by solve()); never read by the
+  // pivoting logic.
+  std::size_t refactor_count_ = 0;
+  std::size_t eta_len_max_ = 0;
   std::size_t cursor_ = 0;  // Partial-pricing rotation state.
 
   std::vector<double> fwork_;    // Dense original-row scratch, kept zeroed.
@@ -596,8 +622,14 @@ SolveResult RevisedSimplexSolver::solve(LpProblem& problem) const {
     if (unbounded) result.values.clear();
     return result;
   }
+  QP_TRACE_SPAN("lp.revised.solve");
   RevisedState state{problem, options_};
-  return state.run();
+  SolveResult result = state.run();
+  c_rs_solves.add();
+  c_rs_iterations.add(result.iterations);
+  c_rs_refactorizations.add(state.refactor_count());
+  g_rs_eta_len_max.set(static_cast<double>(state.eta_len_max()));
+  return result;
 }
 
 }  // namespace qp::lp

@@ -1,0 +1,180 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Sink design: one leaky singleton owning the FILE* and a mutex; per-thread
+// event buffers (name pointer + timestamps + tid) that batch-append under
+// the mutex only when full, at thread exit, or on explicit flush. The
+// Chrome trace-event JSON-array format explicitly tolerates a missing
+// trailing "]", which sidesteps static-destruction-order hazards: an
+// atexit hook finalizes best-effort, and an abandoned tail still loads.
+
+namespace qp::obs {
+
+namespace {
+
+constexpr std::size_t kEventsPerBuffer = 4096;
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t t0_us;
+  std::uint64_t t1_us;
+  std::uint32_t tid;
+};
+
+class TraceSink {
+ public:
+  static TraceSink& instance() {
+    static TraceSink* sink = new TraceSink();  // Leaky: outlives thread exits.
+    return *sink;
+  }
+
+  // Process-wide "is a sink open" flag, readable without the lock.
+  std::atomic<bool> active{false};
+
+  bool open(std::string_view path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr) return false;
+    file_ = std::fopen(std::string(path).c_str(), "w");
+    if (file_ == nullptr) return false;
+    std::fputs("[\n", file_);
+    first_event_ = true;
+    active.store(true, std::memory_order_release);
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr) return;
+    active.store(false, std::memory_order_release);
+    std::fputs("\n]\n", file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+
+  void write_batch(const std::vector<TraceEvent>& events) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr) return;
+    for (const TraceEvent& ev : events) {
+      if (!first_event_) std::fputs(",\n", file_);
+      first_event_ = false;
+      const std::uint64_t dur = ev.t1_us - ev.t0_us;
+      std::fprintf(file_,
+                   "{\"name\":\"%s\",\"cat\":\"qp\",\"ph\":\"X\","
+                   "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%u}",
+                   ev.name, static_cast<unsigned long long>(ev.t0_us),
+                   static_cast<unsigned long long>(dur), ev.tid);
+    }
+    std::fflush(file_);
+  }
+
+  std::uint32_t next_tid() {
+    return tid_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::uint64_t origin_us() const { return origin_us_; }
+
+ private:
+  TraceSink()
+      : origin_us_(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count())) {}
+
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  bool first_event_ = true;
+  std::atomic<std::uint32_t> tid_counter_{0};
+  std::uint64_t origin_us_;
+};
+
+// Per-thread buffer; flushes to the sink when full and at thread exit.
+struct ThreadBuffer {
+  ThreadBuffer() : tid(TraceSink::instance().next_tid()) {
+    events.reserve(kEventsPerBuffer);
+  }
+  ~ThreadBuffer() { flush(); }
+
+  void push(const char* name, std::uint64_t t0, std::uint64_t t1) {
+    events.push_back(TraceEvent{name, t0, t1, tid});
+    if (events.size() >= kEventsPerBuffer) flush();
+  }
+
+  void flush() {
+    if (events.empty()) return;
+    TraceSink::instance().write_batch(events);
+    events.clear();
+  }
+
+  std::vector<TraceEvent> events;
+  std::uint32_t tid;
+};
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+// QP_TRACE=<path> auto-start, checked once per process before the first
+// span can observe trace_enabled() == true.
+bool env_autostart() {
+  static const bool started = [] {
+    if (const char* path = std::getenv("QP_TRACE");
+        path != nullptr && path[0] != '\0') {
+      if (TraceSink::instance().open(path)) {
+        std::atexit([] { stop_trace(); });
+        return true;
+      }
+    }
+    return false;
+  }();
+  return started;
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  static const bool env_checked = env_autostart();
+  (void)env_checked;
+  return TraceSink::instance().active.load(std::memory_order_acquire);
+}
+
+bool start_trace(std::string_view path) {
+  (void)trace_enabled();  // Resolve QP_TRACE first so env wins ties.
+  return TraceSink::instance().open(path);
+}
+
+void stop_trace() {
+  trace_flush_current_thread();
+  TraceSink::instance().close();
+}
+
+void trace_flush_current_thread() {
+  if (!TraceSink::instance().active.load(std::memory_order_acquire)) return;
+  local_buffer().flush();
+}
+
+namespace detail {
+
+std::uint64_t trace_now_us() noexcept {
+  const auto now = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  return static_cast<std::uint64_t>(now) - TraceSink::instance().origin_us();
+}
+
+void span_emit(const char* name, std::uint64_t t0_us,
+               std::uint64_t t1_us) noexcept {
+  if (!TraceSink::instance().active.load(std::memory_order_acquire)) return;
+  local_buffer().push(name, t0_us, t1_us);
+}
+
+}  // namespace detail
+
+}  // namespace qp::obs

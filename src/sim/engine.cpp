@@ -6,14 +6,36 @@
 #include <unordered_map>
 #include <utility>
 
+#include <ostream>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/strategy_sampler.hpp"
 
 namespace qp::sim {
 
 namespace {
+
+// Engine telemetry: request accounting totals (tallied once per
+// replication, never per event), the response distribution, and probe
+// activity. The per-event hot path carries no obs calls at all.
+const obs::Counter c_eng_runs = obs::counter("sim.engine.runs");
+const obs::Counter c_eng_replications = obs::counter("sim.engine.replications");
+const obs::Counter c_eng_issued = obs::counter("sim.engine.requests_issued");
+const obs::Counter c_eng_completed =
+    obs::counter("sim.engine.requests_completed");
+const obs::Counter c_eng_failed = obs::counter("sim.engine.requests_failed");
+const obs::Counter c_eng_abandoned =
+    obs::counter("sim.engine.requests_abandoned");
+const obs::Counter c_eng_retries = obs::counter("sim.engine.retries");
+const obs::Counter c_eng_dropped = obs::counter("sim.engine.dropped_messages");
+const obs::Counter c_eng_rejected =
+    obs::counter("sim.engine.rejected_arrivals");
+const obs::Counter c_eng_probes = obs::counter("sim.engine.probes");
+const obs::Histogram h_eng_response = obs::histogram("sim.engine.response_ms");
 
 /// The engine's typed event union: one small value struct instead of a
 /// heap-allocated std::function per event (~50 events per request). `id`
@@ -26,6 +48,7 @@ struct EngineEvent {
     Reply,       // Service at `site` done; reply lands at the client.
     Timeout,     // The attempt's retry timer expired.
     BeginRetry,  // Backoff elapsed; start the next attempt.
+    Probe,       // Time-series snapshot; read-only, consumes no randomness.
   };
   Kind kind = Kind::Arrival;
   std::uint32_t attempt = 0;
@@ -63,11 +86,19 @@ class Replication {
   }
 
   ReplicationResult run() {
+    QP_TRACE_SPAN("sim.engine.replication");
     for (std::size_t slot = 0; slot < clients_.size(); ++slot) {
       const double first = generators_[slot].next(0.0, rng_);
       if (first < end_of_issue_) {
         queue_.schedule(first, EngineEvent{.id = slot});
       }
+    }
+    if (config_.probe_interval_ms > 0.0) {
+      // Probes need queue occupancy on unbounded stations too; tracking is
+      // observation-only (see ServiceStation::track_occupancy).
+      for (ServiceStation& station : stations_) station.track_occupancy(true);
+      queue_.schedule(config_.warmup_ms,
+                      EngineEvent{.kind = EngineEvent::Kind::Probe});
     }
     queue_.run_all([this](const EngineEvent& event) { dispatch(event); });
 
@@ -98,8 +129,25 @@ class Replication {
         issued_ == 0 ? 0.0
                      : static_cast<double>(failed_ + abandoned_) /
                            static_cast<double>(issued_);
+    // Metrics, tallied once per replication at the end of the drain (the
+    // per-event path carries no obs calls). The response histogram records
+    // before samples_ moves out.
+    c_eng_replications.add();
+    c_eng_issued.add(issued_);
+    c_eng_completed.add(completed_);
+    c_eng_failed.add(failed_);
+    c_eng_abandoned.add(abandoned_);
+    c_eng_retries.add(retries_);
+    c_eng_dropped.add(dropped_);
+    c_eng_rejected.add(rejected_);
+    c_eng_probes.add(probes_.size());
+    if (obs::enabled()) {
+      for (double sample : samples_) h_eng_response.record(sample);
+    }
+
     result.response_samples = std::move(samples_);
     result.unserved_wait_ms = std::move(unserved_wait_);
+    result.probes = std::move(probes_);
     return result;
   }
 
@@ -141,6 +189,40 @@ class Replication {
       case EngineEvent::Kind::BeginRetry:
         begin_retry(event.id, event.attempt);
         break;
+      case EngineEvent::Kind::Probe:
+        probe();
+        break;
+    }
+  }
+
+  /// Samples the replication's live state and schedules the next probe.
+  /// Strictly read-only with respect to the simulation: no randomness is
+  /// consumed and no request, station, or suspicion state is written
+  /// (in_system only discards already-departed bookkeeping entries), so the
+  /// event stream and every result are bitwise unchanged by probing.
+  void probe() {
+    const double now = queue_.now();
+    EngineProbe sample;
+    sample.t_ms = now;
+    for (ServiceStation& station : stations_) {
+      sample.busy_sites += station.busy_at(now) ? 1 : 0;
+      sample.queued_messages += station.in_system(now);
+    }
+    sample.busy_fraction = stations_.empty()
+                               ? 0.0
+                               : static_cast<double>(sample.busy_sites) /
+                                     static_cast<double>(stations_.size());
+    sample.inflight_requests = requests_.size();
+    sample.suspected_sites = suspicion_.suspected_count(now);
+    sample.issued = issued_;
+    sample.completed = completed_;
+    sample.failed = failed_;
+    sample.abandoned = abandoned_;
+    sample.retries = retries_;
+    probes_.push_back(sample);
+    const double next = now + config_.probe_interval_ms;
+    if (next <= end_of_issue_) {
+      queue_.schedule(next, EngineEvent{.kind = EngineEvent::Kind::Probe});
     }
   }
 
@@ -363,6 +445,7 @@ class Replication {
   common::RunningStats retried_response_;
   std::vector<double> samples_;
   std::vector<double> unserved_wait_;
+  std::vector<EngineProbe> probes_;
   std::size_t issued_ = 0;
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
@@ -407,7 +490,12 @@ EngineResult run_engine(const net::LatencyMatrix& matrix,
                         const core::Placement& placement,
                         std::span<const double> arrival_rates_per_ms,
                         const EngineConfig& config) {
+  QP_TRACE_SPAN("sim.engine.run");
+  c_eng_runs.add();
   placement.validate(matrix.size());
+  if (config.probe_interval_ms < 0.0 || !std::isfinite(config.probe_interval_ms)) {
+    throw std::invalid_argument{"run_engine: probe_interval_ms must be finite and >= 0"};
+  }
   if (arrival_rates_per_ms.size() != matrix.size()) {
     throw std::invalid_argument{"run_engine: one arrival rate per site required"};
   }
@@ -508,6 +596,21 @@ EngineResult run_engine(const net::LatencyMatrix& matrix,
   }
   result.replications = std::move(replications);
   return result;
+}
+
+void write_engine_timeseries_csv(const EngineResult& result, std::ostream& out) {
+  out << "replication,t_ms,busy_sites,busy_fraction,queued_messages,"
+         "inflight_requests,suspected_sites,issued,completed,failed,"
+         "abandoned,retries\n";
+  for (std::size_t r = 0; r < result.replications.size(); ++r) {
+    for (const EngineProbe& p : result.replications[r].probes) {
+      out << r << ',' << p.t_ms << ',' << p.busy_sites << ','
+          << p.busy_fraction << ',' << p.queued_messages << ','
+          << p.inflight_requests << ',' << p.suspected_sites << ','
+          << p.issued << ',' << p.completed << ',' << p.failed << ','
+          << p.abandoned << ',' << p.retries << '\n';
+    }
+  }
 }
 
 std::vector<double> scale_rates_to_peak_utilization(std::span<const double> rates,

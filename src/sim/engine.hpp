@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -109,8 +110,36 @@ struct EngineConfig {
   /// Suspicion expiry for FailoverMode::Suspicion.
   double suspicion_ttl_ms = 2'000.0;
 
+  /// Measurement-window time-series probes: > 0 samples the live state of
+  /// every replication each probe_interval_ms from warmup_ms to the end of
+  /// issue (EngineProbe rows in ReplicationResult::probes;
+  /// write_engine_timeseries_csv exports them). Probe events are strictly
+  /// read-only — they consume no randomness and touch no simulation state —
+  /// so every result is bitwise identical with probing on or off. 0 (the
+  /// default) disables probing. Independent of the QP_OBS metrics gate.
+  double probe_interval_ms = 0.0;
+
   /// Pool for the replication fan-out; nullptr = the shared global pool.
   common::ThreadPool* pool = nullptr;
+};
+
+/// One sampled snapshot of a replication's live state (probe_interval_ms).
+/// Instantaneous fields describe the probe instant; the counters are the
+/// replication's cumulative windowed totals up to it, so deltas between
+/// consecutive probes give per-interval rates (how the PR 7 metastable
+/// retry-amplification regime *develops*, not just its end state).
+struct EngineProbe {
+  double t_ms = 0.0;
+  std::size_t busy_sites = 0;         // Server cores working right now.
+  double busy_fraction = 0.0;         // busy_sites / site count.
+  std::size_t queued_messages = 0;    // Messages queued or in service, all sites.
+  std::size_t inflight_requests = 0;  // Issued but not yet resolved.
+  std::size_t suspected_sites = 0;    // Live suspicion-list entries.
+  std::size_t issued = 0;             // Cumulative windowed counters.
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t abandoned = 0;
+  std::size_t retries = 0;
 };
 
 /// Per-replication measurements; everything below is warm-up trimmed.
@@ -145,6 +174,8 @@ struct ReplicationResult {
   /// Response samples (completed, windowed), in completion order — kept for
   /// pooled percentiles and distribution checks.
   std::vector<double> response_samples;
+  /// Time-series snapshots (empty unless EngineConfig::probe_interval_ms).
+  std::vector<EngineProbe> probes;
 };
 
 struct EngineResult {
@@ -198,5 +229,12 @@ struct EngineResult {
 /// `master_seed` — exposed so tests can reproduce a single replication.
 [[nodiscard]] std::uint64_t replication_seed(std::uint64_t master_seed,
                                              std::size_t replication) noexcept;
+
+/// Writes every replication's probe rows as CSV:
+/// replication,t_ms,busy_sites,busy_fraction,queued_messages,
+/// inflight_requests,suspected_sites,issued,completed,failed,abandoned,
+/// retries — one row per probe, replications in order. Header always
+/// written; no rows when the engine ran without probe_interval_ms.
+void write_engine_timeseries_csv(const EngineResult& result, std::ostream& out);
 
 }  // namespace qp::sim

@@ -56,6 +56,13 @@ class SuspicionList {
   [[nodiscard]] bool suspected(std::size_t site, double now) const noexcept {
     return until_[site] > now;
   }
+  /// Sites suspected at `now` — an O(sites) scan, meant for measurement
+  /// probes, not the per-attempt hot path.
+  [[nodiscard]] std::size_t suspected_count(double now) const noexcept {
+    std::size_t count = 0;
+    for (double until : until_) count += until > now ? 1 : 0;
+    return count;
+  }
 
  private:
   std::vector<double> until_;  // Suspicion expiry per site; -1 = never raised.

@@ -76,7 +76,7 @@ double ServiceStation::accept(double now, double service_time) {
   const double overlap = std::max(
       0.0, std::min(depart, window_end_) - std::max(start_service, window_start_));
   busy_ += overlap;
-  if (capacity_ != 0) departures_.push_back(depart);
+  if (capacity_ != 0 || tracked_) departures_.push_back(depart);
   return depart;
 }
 

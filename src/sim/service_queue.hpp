@@ -93,14 +93,27 @@ class ServiceStation {
   /// Service time accumulated inside the measurement window, ms.
   [[nodiscard]] double busy_in_window() const noexcept { return busy_; }
 
+  /// True when the server core is working at `time`.
+  [[nodiscard]] bool busy_at(double time) const noexcept {
+    return next_free_ > time;
+  }
+
+  /// Turns on departure bookkeeping for an unbounded station so probes can
+  /// read in_system(). Admission decisions never look at the tracked deque
+  /// unless capacity_ != 0, so tracking is observation-only: it cannot
+  /// change any admission, departure, or busy-time result. Bounded stations
+  /// always track.
+  void track_occupancy(bool on) noexcept { tracked_ = on; }
+
  private:
   double window_start_ = 0.0;
   double window_end_ = 0.0;
   double next_free_ = 0.0;
   double busy_ = 0.0;
   std::size_t capacity_ = 0;
+  bool tracked_ = false;
   /// Departure times of admitted messages still in the system, ascending
-  /// (FIFO). Only maintained when capacity_ > 0.
+  /// (FIFO). Only maintained when capacity_ > 0 or tracked_.
   std::deque<double> departures_;
 };
 

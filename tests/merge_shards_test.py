@@ -5,7 +5,11 @@ Builds two synthetic shard directories and checks:
   * BENCH_*.json benchmark arrays are unioned, deduplicated by name;
   * a differing git_sha between shards prints the mismatch warning;
   * CSVs with a shared header merge row-wise (per-point shards), while a
-    differing header keeps the first copy and warns.
+    differing header keeps the first copy and warns;
+  * OBS_*.json metric exports (run_all.sh --metrics) union by name with the
+    registry's shard-merge semantics: counters and histogram buckets sum,
+    gauges take the max, histogram min/max fold and percentiles are
+    recomputed from the merged buckets.
 
 Usage: merge_shards_test.py <path-to-merge_shards.py>
 """
@@ -79,6 +83,32 @@ def main(argv):
         (shard_a / "bench_sim_engine.csv").write_text(f"{sim_header}\n{sim_row_a}\n")
         (shard_b / "bench_sim_engine.csv").write_text(f"{sim_header}\n{sim_row_b}\n")
 
+        # Observability metric exports (--metrics): counters sum, gauges max,
+        # histogram counts/buckets sum with min/max folded.
+        def obs_histogram(count, lo, hi, bucket, n):
+            buckets = [0] * 64
+            buckets[bucket] = n
+            buckets[bucket + 1] = count - n
+            return {"name": "sim.engine.response_ms", "kind": "histogram",
+                    "count": count, "min": lo, "max": hi, "p50": 0.0,
+                    "p95": 0.0, "p99": 0.0, "buckets": buckets}
+
+        (shard_a / "OBS_bench_sim_engine.json").write_text(json.dumps({
+            "qp_obs_version": 1, "enabled": True, "metrics": [
+                {"name": "sim.engine.runs", "kind": "counter", "value": 3},
+                {"name": "lp.revised.eta_len_max", "kind": "gauge",
+                 "set": True, "value": 17.0},
+                obs_histogram(10, 1.0, 40.0, 26, 4),
+            ]}))
+        (shard_b / "OBS_bench_sim_engine.json").write_text(json.dumps({
+            "qp_obs_version": 1, "enabled": True, "metrics": [
+                {"name": "sim.engine.runs", "kind": "counter", "value": 5},
+                {"name": "lp.revised.eta_len_max", "kind": "gauge",
+                 "set": True, "value": 42.0},
+                obs_histogram(6, 0.5, 80.0, 26, 6),
+                {"name": "sim.engine.retries", "kind": "counter", "value": 2},
+            ]}))
+
         result = subprocess.run(
             [sys.executable, str(merge_script), str(merged), str(shard_a), str(shard_b)],
             capture_output=True,
@@ -115,6 +145,24 @@ def main(argv):
             sim_names = [b["name"] for b in json.load(fh)["benchmarks"]]
         check(len(sim_names) == 2 and all("SimValidation/" in n for n in sim_names),
               f"sim-validation benchmark rows unioned (got {sim_names})")
+
+        with (merged / "OBS_bench_sim_engine.json").open() as fh:
+            obs = {m["name"]: m for m in json.load(fh)["metrics"]}
+        check(obs["sim.engine.runs"]["value"] == 8, "obs counters sum across shards")
+        check(obs["sim.engine.retries"]["value"] == 2,
+              "obs metric present in one shard copies through")
+        check(obs["lp.revised.eta_len_max"]["value"] == 42.0,
+              "obs gauges merge by max")
+        hist = obs["sim.engine.response_ms"]
+        check(hist["count"] == 16 and hist["min"] == 0.5 and hist["max"] == 80.0,
+              f"obs histogram count/min/max fold (got {hist['count']}, "
+              f"{hist['min']}, {hist['max']})")
+        check(hist["buckets"][26] == 10 and hist["buckets"][27] == 6,
+              "obs histogram buckets sum elementwise")
+        # p50 rank 8 falls in bucket 26 -> upper bound 2^(26-21) = 32;
+        # p99 rank 16 in bucket 27 -> 2^6 = 64, both below the folded max.
+        check(hist["p50"] == 32.0 and hist["p99"] == 64.0,
+              f"obs histogram percentiles recomputed (got {hist['p50']}, {hist['p99']})")
 
         # Malformed JSON must fail the merge.
         bad = root / "bad_shard"

@@ -129,6 +129,23 @@ void guard(int x) { assert(x > 0); }  // qp-lint: allow(naked-assert)
 """,
     ),
     (
+        "hot-path-sync",
+        "src/core/hot_counter.cpp",
+        "QPL007",
+        """#include <atomic>
+std::atomic<unsigned long> candidates_{0};
+void tally() { candidates_.fetch_add(1, std::memory_order_relaxed); }
+""",
+        """#include <atomic>
+// qp-lint: allow(hot-path-sync) -- seqlock handoff, not telemetry; audited
+std::atomic<unsigned long> candidates_{0};
+void tally() {
+  // qp-lint: allow(hot-path-sync)
+  candidates_.fetch_add(1, std::memory_order_relaxed);
+}
+""",
+    ),
+    (
         "parity-reference",
         "src/core/delta_eval_fast.cpp",
         "QPL006",
@@ -190,7 +207,7 @@ def main(argv):
     listing = subprocess.run(
         [sys.executable, str(lint_script), "--list-rules"], capture_output=True, text=True
     )
-    for rule_id in ("QPL001", "QPL002", "QPL003", "QPL004", "QPL005", "QPL006"):
+    for rule_id in ("QPL001", "QPL002", "QPL003", "QPL004", "QPL005", "QPL006", "QPL007"):
         check(rule_id in listing.stdout, f"--list-rules mentions {rule_id}")
 
     for name, rel, rule_id, violating, annotated in CASES:

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""check_trace: validates a Chrome trace-event JSON file from obs/trace.
+
+Checks the structural contract the tracing layer promises:
+  * the file parses as a JSON array (a truncated tail — no closing ']' —
+    is repaired first, since the format tolerates it and obs/trace only
+    writes the tail on a clean stop_trace);
+  * every event is a complete ("ph": "X") event carrying name, ts, dur,
+    pid, and tid with sane types and non-negative times;
+  * optionally (--require-span-prefix, repeatable) at least one event name
+    starts with each required prefix — CI uses this to prove the trace
+    actually covers every instrumented layer, not just that tracing works.
+
+Usage:
+    check_trace.py TRACE.json [--require-span-prefix PREFIX]...
+                   [--min-events N]
+
+Exit status: 0 valid, 1 invalid, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def load_events(path):
+    text = path.read_text(encoding="utf-8")
+    if not text.strip():
+        raise ValueError("trace file is empty")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        # A live/killed process leaves the array unterminated (and possibly
+        # a trailing comma); the Chrome format explicitly allows this.
+        repaired = text.rstrip().rstrip(",")
+        try:
+            return json.loads(repaired + "\n]")
+        except json.JSONDecodeError as error:
+            raise ValueError(f"not a JSON array even after tail repair: {error}")
+
+
+def validate(events, require_prefixes, min_events):
+    errors = []
+    if not isinstance(events, list):
+        return [f"top-level JSON is {type(events).__name__}, expected array"]
+    if len(events) < min_events:
+        errors.append(f"only {len(events)} event(s), expected >= {min_events}")
+    names = set()
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            errors.append(f"{where}: missing key(s) {', '.join(missing)}")
+            continue
+        if event["ph"] != "X":
+            errors.append(f"{where}: ph={event['ph']!r}, expected complete event 'X'")
+        if not isinstance(event["name"], str) or not event["name"]:
+            errors.append(f"{where}: name must be a non-empty string")
+        else:
+            names.add(event["name"])
+        for key in ("ts", "dur"):
+            if not isinstance(event[key], (int, float)) or event[key] < 0:
+                errors.append(f"{where}: {key}={event[key]!r} must be a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int) or event[key] < 0:
+                errors.append(f"{where}: {key}={event[key]!r} must be a non-negative int")
+    for prefix in require_prefixes:
+        if not any(name.startswith(prefix) for name in names):
+            errors.append(
+                f"no span with prefix '{prefix}' (saw {len(names)} distinct name(s): "
+                f"{', '.join(sorted(names)[:8])}{', ...' if len(names) > 8 else ''})"
+            )
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="check_trace", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("trace", type=Path, help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require-span-prefix",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="require at least one event whose name starts with PREFIX (repeatable)",
+    )
+    parser.add_argument(
+        "--min-events", type=int, default=1, help="minimum event count (default 1)"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.trace.is_file():
+        print(f"check_trace: {args.trace}: no such file", file=sys.stderr)
+        return 2
+    try:
+        events = load_events(args.trace)
+    except ValueError as error:
+        print(f"check_trace: {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    errors = validate(events, args.require_span_prefix, args.min_events)
+    for error in errors[:20]:
+        print(f"check_trace: {args.trace}: {error}", file=sys.stderr)
+    if errors:
+        if len(errors) > 20:
+            print(f"check_trace: ... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+    distinct = len({e["name"] for e in events})
+    print(f"check_trace: OK — {len(events)} event(s), {distinct} distinct span name(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -34,6 +34,13 @@ Rules (ID / name / scope):
                                        (src/**/delta_eval*.cpp) must carry a
                                        QP_PARITY_ASSERT reference so the
                                        level-2 audit cannot silently vanish.
+  QPL007 hot-path-sync      src/core, src/lp, src/sim
+                                       Direct std::atomic / mutex /
+                                       condition_variable use in the compute
+                                       layers; telemetry belongs in the obs::
+                                       thread-local shard API (src/obs), and
+                                       real synchronization belongs in
+                                       common/thread_pool.
   QPL000 bad-annotation     all        An allow-annotation naming an unknown
                                        rule (never suppressible).
 
@@ -226,6 +233,13 @@ FP_ACCUM_RE = re.compile(
 )
 NAKED_ASSERT_RE = re.compile(r"(?<![\w_])(?<!static_)assert\s*\(")
 OMP_PRAGMA_RE = re.compile(r"#\s*pragma\s+omp\b")
+HOT_SYNC_RE = re.compile(
+    r"\bstd::(?:atomic(?:_ref|_flag)?\s*<|atomic_flag\b|"
+    r"(?:recursive_|timed_|shared_)*mutex\b|"
+    r"lock_guard\b|unique_lock\b|scoped_lock\b|shared_lock\b|"
+    r"condition_variable(?:_any)?\b|call_once\b|once_flag\b|"
+    r"atomic_(?:load|store|exchange|fetch_add|fetch_sub|thread_fence)\b)"
+)
 
 
 def rule_unordered_iter(scan):
@@ -316,6 +330,20 @@ def rule_parity_reference(scan):
         )
 
 
+def rule_hot_path_sync(scan):
+    if not in_dirs(scan.rel, "src/core", "src/lp", "src/sim"):
+        return
+    for lineno, code in enumerate(scan.code, start=1):
+        if HOT_SYNC_RE.search(code):
+            yield lineno, (
+                "direct synchronization primitive in a compute layer: counters and "
+                "gauges must go through the obs:: thread-local shard API (obs/metrics), "
+                "and thread coordination through common/thread_pool — a stray atomic "
+                "here is either hidden telemetry that skews the overhead budget or a "
+                "determinism hazard"
+            )
+
+
 RULES = [
     ("QPL001", "unordered-iter", rule_unordered_iter, False),
     ("QPL002", "nondeterministic-rng", rule_nondeterministic_rng, False),
@@ -323,6 +351,7 @@ RULES = [
     ("QPL004", "naked-assert", rule_naked_assert, False),
     ("QPL005", "omp-pragma", rule_omp_pragma, False),
     ("QPL006", "parity-reference", rule_parity_reference, True),  # file-scoped
+    ("QPL007", "hot-path-sync", rule_hot_path_sync, False),
 ]
 RULE_NAMES = {name for _, name, _, _ in RULES}
 
